@@ -1,0 +1,32 @@
+"""Shared fixtures for the table/figure benchmarks.
+
+Each benchmark regenerates one paper artifact and prints the rows or
+series the paper reports (run with ``-s`` to see them), while
+pytest-benchmark times the underlying computation.
+"""
+
+import pytest
+
+from repro.experiments.signaling import mean_hops_to_ground
+from repro.orbits import TABLE1, default_ground_stations
+
+
+def gateway_set(constellation):
+    """Gateways scaled to the constellation's size.
+
+    Small shells (Iridium) historically fly far fewer gateways than
+    mega-constellations; the signaling asymmetry depends on this.
+    """
+    count = max(6, constellation.total_satellites // 60)
+    return default_ground_stations(min(count, 26))
+
+
+@pytest.fixture(scope="session")
+def hops_by_constellation():
+    """Mean ISL hops to a gateway, computed once per constellation."""
+    hops = {}
+    for name, factory in TABLE1.items():
+        constellation = factory()
+        hops[name] = mean_hops_to_ground(constellation,
+                                         gateway_set(constellation))
+    return hops

@@ -1,0 +1,138 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Stateless geospatial routing vs stateful Dijkstra (path stretch);
+2. cell granularity vs detour probability (the S6.2 remark that finer
+   cells -- more address bits -- remove Iridium's detours);
+3. piggybacked state replica vs separate signaling round trips;
+4. ABE policy size vs session-establishment overhead.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import SPACECORE_CRYPTO_OVERHEAD_S, spacecore
+from repro.crypto import and_, attr, decrypt, encrypt, keygen, setup
+from repro.experiments.relay import BEIJING, NEW_YORK
+from repro.fiveg.messages import (
+    ProcedureKind,
+    SESSION_ESTABLISHMENT_FLOW,
+    SPACECORE_SESSION_ESTABLISHMENT_FLOW,
+)
+from repro.orbits import (
+    Constellation,
+    IdealPropagator,
+    serving_satellite,
+    starlink,
+)
+from repro.topology import DijkstraRouter, GeospatialRouter, GridTopology
+
+
+def test_ablation_routing_stretch(benchmark):
+    """Algorithm 1 pays a small stretch for carrying zero state."""
+    topology = GridTopology(IdealPropagator(starlink()), [])
+    geo = GeospatialRouter(topology)
+    dijkstra = DijkstraRouter(topology)
+
+    def run():
+        stretches = []
+        for t in (0.0, 600.0, 1200.0):
+            src = serving_satellite(topology.propagator, t, *BEIJING)
+            dst = serving_satellite(topology.propagator, t, *NEW_YORK)
+            g = geo.route(src, *NEW_YORK, t)
+            d = dijkstra.route(src, dst, t)
+            if g.delivered and d.delivered and d.delay_s > 0:
+                stretches.append(g.delay_s / d.delay_s)
+        return stretches
+
+    stretches = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean = sum(stretches) / len(stretches)
+    print(f"\nAblation 1 -- stateless routing stretch over Dijkstra: "
+          f"mean {mean:.3f} over {len(stretches)} epochs")
+    assert mean < 1.7
+
+
+def test_ablation_cell_granularity(benchmark):
+    """Finer grids (more satellites -> more address bits) shrink cells
+    and with them the worst-case detour to the covering satellite."""
+    def run():
+        sizes = {}
+        for planes, slots in ((6, 11), (24, 22), (72, 22)):
+            shell = Constellation("ablation", slots, planes, 550.0, 53.0)
+            from repro.geo import GeospatialCellGrid
+            grid = GeospatialCellGrid(shell)
+            stats = grid.cell_size_statistics(samples=6000)
+            sizes[(planes, slots)] = stats.avg_km2
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    ordered = [sizes[k] for k in sorted(sizes, key=lambda k: k[0] * k[1])]
+    print(f"\nAblation 2 -- avg cell size vs grid density: "
+          f"{[round(s / 1e3) for s in ordered]}k km2")
+    assert ordered[0] > ordered[-1]  # denser grid -> smaller cells
+
+
+def test_ablation_piggyback_vs_roundtrips(benchmark):
+    """Piggybacking the replica removes whole round trips: compare the
+    localized 4-message flow against the legacy 18-message flow in
+    both message count and bytes."""
+    def run():
+        legacy_msgs = len(SESSION_ESTABLISHMENT_FLOW)
+        local_msgs = len(SPACECORE_SESSION_ESTABLISHMENT_FLOW)
+        legacy_bytes = sum(m.size_bytes
+                           for m in SESSION_ESTABLISHMENT_FLOW)
+        local_bytes = sum(m.size_bytes
+                          for m in SPACECORE_SESSION_ESTABLISHMENT_FLOW)
+        return legacy_msgs, local_msgs, legacy_bytes, local_bytes
+
+    legacy_msgs, local_msgs, legacy_bytes, local_bytes = benchmark(run)
+    print(f"\nAblation 3 -- piggyback: {legacy_msgs} msgs -> "
+          f"{local_msgs} msgs; {legacy_bytes} B -> {local_bytes} B")
+    assert local_msgs <= legacy_msgs / 3
+    # The replica makes individual messages bigger but the *exchange*
+    # much smaller in round trips; total bytes stay comparable.
+    assert local_bytes < legacy_bytes
+
+
+def test_ablation_udsf_vs_device_repository(benchmark):
+    """Footnote 3: the infrastructure-side UDSF alternative is slow.
+
+    Fetching one session state from a ground-hosted UDSF pays the
+    multi-hop space-ground RTT plus store access; the device replica
+    pays only local crypto.
+    """
+    from repro.fiveg.nf.udsf import Udsf, compare_state_retrieval
+
+    store = Udsf("ground-udsf", location_rtt_s=0.120)
+    store.put("ue-1", b"state blob")
+
+    def fetch():
+        record = store.get("ue-1")
+        return store.read_latency_s(), record
+
+    (latency, record) = benchmark(fetch)
+    udsf_latency, device_latency = compare_state_retrieval(
+        udsf_rtt_s=0.120, local_crypto_s=SPACECORE_CRYPTO_OVERHEAD_S)
+    print(f"\nAblation 5 -- state retrieval: UDSF "
+          f"{udsf_latency * 1000:.1f} ms vs device replica "
+          f"{device_latency * 1000:.1f} ms")
+    assert record is not None
+    assert device_latency < udsf_latency / 10
+
+
+@pytest.mark.parametrize("attributes", [2, 6, 12])
+def test_ablation_abe_policy_size(benchmark, attributes):
+    """Richer access policies cost more crypto per establishment but
+    stay far below one saved ground round trip (~60 ms)."""
+    _, msk = setup(b"ablation-secret")
+    policy = and_(*[attr(f"a{i}") for i in range(attributes)])
+    key = keygen(msk, [f"a{i}" for i in range(attributes)])
+    blob = b"s" * 600
+
+    def establish():
+        ciphertext = encrypt(msk, blob, policy)
+        return decrypt(key, ciphertext)
+
+    result = benchmark(establish)
+    assert result == blob
+    assert benchmark.stats.stats.mean < SPACECORE_CRYPTO_OVERHEAD_S * 10

@@ -1,0 +1,65 @@
+"""Extension benchmarks beyond the paper's figures.
+
+Quantitative support for claims the paper makes in prose:
+
+* S3.1's data-plane funnel: gateway-routed traffic concentrates on a
+  few ISLs; SpaceCore's peer-to-peer relaying spreads it;
+* S3.3/S4.2's resiliency: session availability under space-segment
+  failures, SpaceCore vs 5G NTN;
+* S4.3's paging: geospatial-cell paging vs tracking-area paging.
+"""
+
+from repro.core.paging import (
+    geospatial_cell_cost,
+    legacy_tracking_area_cost,
+)
+from repro.experiments import availability_gap, availability_sweep
+from repro.geo import GeospatialCellGrid
+from repro.orbits import IdealPropagator, default_ground_stations, starlink
+from repro.topology import GridTopology, compare_concentration
+
+
+def test_extension_traffic_concentration(benchmark):
+    topology = GridTopology(IdealPropagator(starlink()),
+                            default_ground_stations())
+    comparison = benchmark.pedantic(
+        compare_concentration, args=(topology,),
+        kwargs={"top_satellites": 12}, rounds=1, iterations=1)
+    print(f"\nExtension -- ISL load concentration: gateway-routed "
+          f"peak/mean {comparison.gateway_peak_to_mean:.2f} "
+          f"(gini {comparison.gateway_gini:.2f}) vs peer-to-peer "
+          f"{comparison.peer_peak_to_mean:.2f} "
+          f"(gini {comparison.peer_gini:.2f})")
+    assert comparison.asymmetry_removed
+
+
+def test_extension_availability_under_failures(benchmark):
+    points = benchmark.pedantic(
+        availability_sweep, args=(starlink(),),
+        kwargs={"failure_fractions": (0.0, 0.05, 0.1, 0.2)},
+        rounds=1, iterations=1)
+    print("\nExtension -- session availability under failures:")
+    for p in points:
+        print(f"  fail={p.failure_fraction * 100:4.1f}% "
+              f"{p.solution:10s} avail={p.availability * 100:5.1f}% "
+              f"(reach {p.reachability * 100:5.1f}%, survive "
+              f"{p.procedure_survival * 100:5.1f}%)")
+    gaps = availability_gap(points)
+    assert all(gap > 0.2 for gap in gaps.values())
+
+
+def test_extension_paging_cost(benchmark):
+    grid = GeospatialCellGrid(starlink())
+
+    def run():
+        return (legacy_tracking_area_cost(starlink()),
+                geospatial_cell_cost(grid))
+
+    legacy, spacecore = benchmark(run)
+    print(f"\nExtension -- paging: legacy tracking area pages "
+          f"{legacy.transmitting_satellites:.0f} satellites over "
+          f"{legacy.paged_area_km2 / 1e6:.1f}M km^2; geospatial cell "
+          f"pages {spacecore.transmitting_satellites:.0f} over "
+          f"{spacecore.paged_area_km2 / 1e6:.1f}M km^2")
+    assert (spacecore.transmitting_satellites
+            < legacy.transmitting_satellites / 4)

@@ -1,0 +1,66 @@
+"""Fig. 10: signaling overhead of the four placement options, per
+satellite and per ground station, across four constellations."""
+
+from repro.baselines import ALL_OPTIONS
+from repro.constants import SATELLITE_CAPACITIES
+from repro.experiments.signaling import signaling_load, sweep
+from repro.orbits import TABLE1
+
+from conftest import gateway_set
+
+
+def compute_fig10(hops_by_constellation):
+    loads = []
+    for name, factory in TABLE1.items():
+        constellation = factory()
+        stations = gateway_set(constellation)
+        hops = hops_by_constellation[name]
+        for option_factory in ALL_OPTIONS:
+            option = option_factory()
+            for capacity in SATELLITE_CAPACITIES:
+                loads.append(signaling_load(option, constellation,
+                                            capacity, stations, hops))
+    return loads
+
+
+def test_fig10(benchmark, hops_by_constellation):
+    loads = benchmark.pedantic(compute_fig10,
+                               args=(hops_by_constellation,),
+                               rounds=1, iterations=1)
+    assert len(loads) == 4 * 4 * 4
+
+    print("\nFig. 10 -- per-satellite / per-GS signaling (cap 30K):")
+    for load in loads:
+        if load.capacity != 30_000:
+            continue
+        sess_sat, mob_sat = load.satellite_rows()
+        sess_gs, mob_gs = load.ground_rows()
+        print(f"  {load.constellation:9s} {load.solution:28s} "
+              f"SAT sess={sess_sat:9.0f}/s mob={mob_sat:9.0f}/s | "
+              f"GS sess={sess_gs:9.0f}/s mob={mob_gs:9.0f}/s")
+
+    by_key = {(l.constellation, l.solution, l.capacity): l
+              for l in loads}
+    starlink_opt1 = by_key[("Starlink", "Option 1 (radio only)", 30_000)]
+    starlink_opt3 = by_key[("Starlink",
+                            "Option 3 (session & mobility)", 30_000)]
+    starlink_opt4 = by_key[("Starlink", "Option 4 (all functions)",
+                            30_000)]
+
+    # S3.1: session storms of 1e3-1e5 per satellite for remote cores.
+    sess_sat, _ = starlink_opt1.satellite_rows()
+    assert 1e3 < sess_sat < 3e5
+    # GS aggregates an order of magnitude more (except Option 4).
+    assert (starlink_opt1.ground_station_per_s
+            > starlink_opt1.satellite_mean_per_s)
+    assert starlink_opt4.ground_station_per_s == 0.0
+    # Option 3 adds mobility registrations on top of handovers.
+    _, mob1 = starlink_opt1.satellite_rows()
+    _, mob3 = starlink_opt3.satellite_rows()
+    assert mob3 > mob1 > 0
+    # Load scales with satellite capacity.
+    for option_factory in ALL_OPTIONS:
+        name = option_factory().name
+        series = [by_key[("Starlink", name, cap)].satellite_mean_per_s
+                  for cap in SATELLITE_CAPACITIES]
+        assert series == sorted(series)

@@ -1,0 +1,48 @@
+"""Fig. 13: intermittent failures in mobile satellites."""
+
+import pytest
+
+from repro.faults import (
+    GilbertElliottChannel,
+    procedure_success_probability,
+    satellite_decay_series,
+)
+
+
+def test_fig13a_satellite_decay(benchmark):
+    series = benchmark(satellite_decay_series, 1584, 24)
+    print("\nFig. 13a -- Starlink satellite decay (monthly additions, "
+          "cumulative):")
+    for s in series[::4]:
+        print(f"  month {s.month:2d}: +{s.additions:3d} "
+              f"accumulated={s.accumulated:3d}")
+    final = series[-1].accumulated
+    print(f"  -> {final}/1584 failed "
+          f"({final / 1584 * 100:.1f}%; paper: ~1 in 40)")
+    assert final / 1584 == pytest.approx(1 / 40, rel=0.5)
+    accumulated = [s.accumulated for s in series]
+    assert accumulated == sorted(accumulated)
+
+
+def test_fig13b_radio_link_failures(benchmark):
+    channel = GilbertElliottChannel(seed=11)
+    series = benchmark.pedantic(channel.series, args=(1200,),
+                                rounds=1, iterations=1)
+    print("\nFig. 13b -- frame error rate over 1200 s (Tiantong-style "
+          "bursts):")
+    for i in range(0, 1200, 120):
+        window = series[i:i + 120]
+        peak = max(window)
+        print(f"  t={i:4d}s window peak FER {peak * 100:5.1f}%")
+    # Bursts reach tens of percent; quiescent FER is near zero.
+    assert max(series) > 0.3
+    assert min(series) < 0.01
+
+
+def test_procedure_fragility(benchmark):
+    """S3.3: any signaling loss can block the whole procedure."""
+    result = benchmark(procedure_success_probability, 18, 0.05)
+    short = procedure_success_probability(4, 0.05)
+    print(f"\nSurvival at 5% loss: 18-msg flow {result * 100:.1f}% vs "
+          f"4-msg flow {short * 100:.1f}%")
+    assert result < short

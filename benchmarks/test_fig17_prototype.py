@@ -1,0 +1,65 @@
+"""Fig. 17: prototype latency and satellite CPU, five solutions x
+three procedures."""
+
+from repro.experiments import fig17_sweep, session_latency_comparison
+from repro.fiveg.messages import ProcedureKind
+
+
+def test_fig17_full_grid(benchmark):
+    points = benchmark(fig17_sweep, (100, 200, 300, 400, 500))
+    assert len(points) == 5 * 3 * 5
+
+    print("\nFig. 17 -- prototype latency / satellite CPU "
+          "(hardware 1):")
+    for kind in (ProcedureKind.INITIAL_REGISTRATION,
+                 ProcedureKind.SESSION_ESTABLISHMENT,
+                 ProcedureKind.MOBILITY_REGISTRATION):
+        print(f"  -- {kind.value} --")
+        for p in points:
+            if p.procedure is kind and p.rate_per_s in (100, 500):
+                flag = " SAT" if p.saturated else ""
+                print(f"    {p.solution:10s} @{p.rate_per_s:3d}/s  "
+                      f"lat={p.latency_s:7.3f}s  "
+                      f"cpu={p.satellite_cpu_percent:5.1f}%{flag}")
+
+    by = {(p.solution, p.procedure, p.rate_per_s): p for p in points}
+    reg, sess, mob = (ProcedureKind.INITIAL_REGISTRATION,
+                      ProcedureKind.SESSION_ESTABLISHMENT,
+                      ProcedureKind.MOBILITY_REGISTRATION)
+
+    # (a) Registration: SkyCore fastest (pre-stored state); SpaceCore
+    # follows legacy 5G with reasonable delay and negligible CPU;
+    # Baoyun/DPCM worst (home interplay + slow on-board functions).
+    assert by[("SkyCore", reg, 300)].latency_s == min(
+        by[(s, reg, 300)].latency_s
+        for s in ("SpaceCore", "5G NTN", "SkyCore", "DPCM", "Baoyun"))
+    assert by[("Baoyun", reg, 500)].latency_s > \
+        by[("SpaceCore", reg, 500)].latency_s
+    assert by[("SpaceCore", reg, 300)].satellite_cpu_percent < 10.0
+
+    # (b) Session establishment: SpaceCore beats every home-routed
+    # design; its overhead is just the local crypto.
+    assert by[("SpaceCore", sess, 300)].latency_s < \
+        by[("5G NTN", sess, 300)].latency_s
+    assert by[("SpaceCore", sess, 300)].latency_s < \
+        by[("Baoyun", sess, 300)].latency_s
+
+    # (c) Mobility registration by LEO mobility: SpaceCore avoids the
+    # procedure entirely -- zero delay, zero CPU.
+    assert by[("SpaceCore", mob, 500)].latency_s == 0.0
+    assert by[("SpaceCore", mob, 500)].satellite_cpu_percent == 0.0
+    for other in ("5G NTN", "SkyCore", "DPCM", "Baoyun"):
+        assert by[(other, mob, 500)].latency_s > 0.0
+
+
+def test_fig17_session_headline(benchmark):
+    """The S6.2 quote: SpaceCore's session latency reductions."""
+    latencies = benchmark(session_latency_comparison, 300)
+    print("\nSession-establishment latency @300/s:")
+    for name, latency in sorted(latencies.items(),
+                                key=lambda kv: kv[1]):
+        ratio = latency / latencies["SpaceCore"]
+        print(f"  {name:10s} {latency * 1000:9.1f} ms ({ratio:6.2f}x "
+              "SpaceCore)")
+    assert latencies["SpaceCore"] <= min(
+        latencies[n] for n in ("5G NTN", "Baoyun"))

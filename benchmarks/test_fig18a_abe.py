@@ -1,0 +1,60 @@
+"""Fig. 18a: local state processing cost vs number of attributes."""
+
+import pytest
+
+from repro.crypto import and_, attr, decrypt, encrypt, keygen, setup
+
+STATE_BLOB = b"x" * 600  # a serialized S1-S5 bundle's size class
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return setup(b"benchmark-master-secret")
+
+
+def _policy(n):
+    return and_(*[attr(f"a{i}") for i in range(n)])
+
+
+@pytest.mark.parametrize("attributes", [2, 4, 6, 8, 10])
+def test_fig18a_encryption(benchmark, authority, attributes):
+    _, msk = authority
+    policy = _policy(attributes)
+    ciphertext = benchmark(encrypt, msk, STATE_BLOB, policy)
+    assert ciphertext.size_bytes() > len(STATE_BLOB)
+
+
+@pytest.mark.parametrize("attributes", [2, 4, 6, 8, 10])
+def test_fig18a_decryption(benchmark, authority, attributes):
+    _, msk = authority
+    policy = _policy(attributes)
+    key = keygen(msk, [f"a{i}" for i in range(attributes)])
+    ciphertext = encrypt(msk, STATE_BLOB, policy)
+    plaintext = benchmark(decrypt, key, ciphertext)
+    assert plaintext == STATE_BLOB
+
+
+def test_fig18a_cost_grows_with_attributes(benchmark, authority):
+    """The figure's shape: cost increases with the attribute count,
+    staying in the sub-millisecond-to-millisecond range that makes it
+    'marginal compared to the latency reductions' (S6.2)."""
+    import time
+    _, msk = authority
+
+    def measure():
+        timings = {}
+        for n in (2, 10):
+            policy = _policy(n)
+            key = keygen(msk, [f"a{i}" for i in range(n)])
+            start = time.perf_counter()
+            for _ in range(30):
+                ct = encrypt(msk, STATE_BLOB, policy)
+                decrypt(key, ct)
+            timings[n] = (time.perf_counter() - start) / 30
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nFig. 18a -- enc+dec: 2 attrs {timings[2] * 1e6:.0f} us, "
+          f"10 attrs {timings[10] * 1e6:.0f} us")
+    assert timings[10] > timings[2]
+    assert timings[10] < 0.050  # well under the saved round trips

@@ -1,0 +1,30 @@
+"""Fig. 18b: geospatial relaying Beijing -> New York, ideal vs J4."""
+
+from repro.experiments import compare_ideal_vs_j4
+from repro.orbits import TABLE1
+
+
+def compute_fig18b():
+    return {name: compare_ideal_vs_j4(factory(), samples=16)
+            for name, factory in TABLE1.items()}
+
+
+def test_fig18b_geospatial_relay(benchmark):
+    rows = benchmark.pedantic(compute_fig18b, rounds=1, iterations=1)
+    print("\nFig. 18b -- Beijing->New York relay delay (one-way):")
+    for name, row in rows.items():
+        print(f"  {name:9s} ideal {row.mean_delay_ideal_ms:6.1f} ms | "
+              f"J4 {row.mean_delay_j4_ms:6.1f} ms | delivery "
+              f"{row.delivery_rate_ideal * 100:.0f}%/"
+              f"{row.delivery_rate_j4 * 100:.0f}% | max J4 extra "
+              f"{row.max_extra_delay_ms:6.1f} ms")
+
+    for name, row in rows.items():
+        # "Under both ideal and realistic orbits, Algorithm 1
+        # guarantees traffic delivery."
+        assert row.delivery_rate_ideal == 1.0, name
+        assert row.delivery_rate_j4 == 1.0, name
+        # "The path delays are similar in both scenarios."
+        assert row.delays_similar, name
+        # One-way delay in the tens-of-ms class the figure plots.
+        assert 20.0 < row.mean_delay_ideal_ms < 200.0, name

@@ -1,0 +1,40 @@
+"""Fig. 19: leaked sensitive states under satellite attacks."""
+
+from repro.experiments import fig19_study, final_hijack_leaks
+from repro.orbits import starlink
+
+
+def test_fig19_leakage(benchmark):
+    study = benchmark.pedantic(fig19_study, args=(starlink(),),
+                               kwargs={"capacity": 30_000,
+                                       "duration_s": 6000.0},
+                               rounds=1, iterations=1)
+
+    print("\nFig. 19a -- cumulative leaked states under hijacking "
+          "(100 min):")
+    finals = final_hijack_leaks(study)
+    for name, total in sorted(finals.items(), key=lambda kv: kv[1]):
+        print(f"  {name:10s} {total:12.2e}")
+    print("\nFig. 19b -- man-in-the-middle leak rate (no IPsec):")
+    for name, rate in sorted(study.mitm_rates.items(),
+                             key=lambda kv: kv[1]):
+        print(f"  {name:10s} {rate:10.1f} states/s")
+
+    # Hijacking: SkyCore's pre-provisioned vectors are catastrophic
+    # (the 1e8 axis); SpaceCore leaks only serving-session keys.
+    assert finals["SkyCore"] > 1e7
+    assert finals["SpaceCore"] == min(finals.values())
+    assert finals["SkyCore"] / finals["SpaceCore"] > 1e3
+
+    # SpaceCore's curve flattens after revocation; Baoyun's keeps
+    # growing as the satellite sweeps new users.
+    sc = study.hijack_series["SpaceCore"]
+    by = study.hijack_series["Baoyun"]
+    assert sc[-1][1] == sc[len(sc) // 2][1]
+    assert by[-1][1] > by[len(by) // 2][1]
+
+    # MITM: SpaceCore's replicas are end-to-end encrypted.
+    assert study.mitm_rates["SpaceCore"] == min(
+        study.mitm_rates.values())
+    assert study.mitm_rates["SkyCore"] == max(
+        study.mitm_rates.values())

@@ -1,0 +1,56 @@
+"""Fig. 20: signaling overhead per satellite / ground station for the
+five solutions across four constellations."""
+
+from repro.baselines import ALL_SOLUTIONS
+from repro.constants import SATELLITE_CAPACITIES
+from repro.experiments.signaling import signaling_load
+from repro.orbits import TABLE1
+
+from conftest import gateway_set
+
+
+def compute_fig20(hops_by_constellation):
+    loads = []
+    for name, factory in TABLE1.items():
+        constellation = factory()
+        stations = gateway_set(constellation)
+        hops = hops_by_constellation[name]
+        for solution_factory in ALL_SOLUTIONS:
+            for capacity in SATELLITE_CAPACITIES:
+                loads.append(signaling_load(
+                    solution_factory(), constellation, capacity,
+                    stations, hops))
+    return loads
+
+
+def test_fig20(benchmark, hops_by_constellation):
+    loads = benchmark.pedantic(compute_fig20,
+                               args=(hops_by_constellation,),
+                               rounds=1, iterations=1)
+    assert len(loads) == 4 * 5 * 4
+
+    print("\nFig. 20 -- per-satellite / per-GS signaling (cap 30K):")
+    for load in loads:
+        if load.capacity != 30_000:
+            continue
+        print(f"  {load.constellation:9s} {load.solution:10s} "
+              f"SAT {load.satellite_hotspot_per_s:10.0f}/s  "
+              f"GS {load.ground_station_per_s:10.0f}/s")
+
+    by_key = {(l.constellation, l.solution, l.capacity): l
+              for l in loads}
+    for constellation in TABLE1:
+        sc = by_key[(constellation, "SpaceCore", 30_000)]
+        # SpaceCore is the cheapest satellite load everywhere.
+        for solution in ("5G NTN", "SkyCore", "DPCM", "Baoyun"):
+            other = by_key[(constellation, solution, 30_000)]
+            assert (other.satellite_hotspot_per_s
+                    > sc.satellite_hotspot_per_s), (constellation,
+                                                    solution)
+        # SpaceCore and SkyCore leave ground stations nearly idle
+        # (the figure's "None" panels); home-interacting designs
+        # hammer them.
+        ntn = by_key[(constellation, "5G NTN", 30_000)]
+        sky = by_key[(constellation, "SkyCore", 30_000)]
+        assert sky.ground_station_per_s == 0.0
+        assert sc.ground_station_per_s < ntn.ground_station_per_s / 50

@@ -1,0 +1,37 @@
+"""Fig. 21: user-level performance in satellite mobility."""
+
+from repro.experiments import fig21_comparison, tcp_recovery_time_s
+
+
+def test_fig21_stalling(benchmark):
+    results = benchmark(fig21_comparison, 100)
+    print("\nFig. 21 -- user-level stalls across one satellite pass:")
+    for r in sorted(results, key=lambda r: r.tcp_stall_s):
+        fate = "CONNECTION RESET" if r.connection_reset else "survives"
+        print(f"  {r.solution:10s} outage={r.outage_s * 1000:7.1f} ms  "
+              f"tcp stall={r.tcp_stall_s:5.2f}s  "
+              f"ping stall={r.ping_stall_s:5.2f}s  {fate}")
+
+    by_name = {r.solution: r for r in results}
+    # SkyCore/Baoyun/DPCM re-allocate the IP -> TCP terminations.
+    for name in ("SkyCore", "Baoyun", "DPCM"):
+        assert by_name[name].connection_reset
+    # 5G NTN and SpaceCore keep the address.
+    assert not by_name["5G NTN"].connection_reset
+    assert not by_name["SpaceCore"].connection_reset
+    # SpaceCore stalls least; NTN stalls more (slow home signaling).
+    assert by_name["SpaceCore"].tcp_stall_s == min(
+        r.tcp_stall_s for r in results)
+    assert by_name["5G NTN"].ping_stall_s > \
+        by_name["SpaceCore"].ping_stall_s
+    # Stalls outlast the raw outage (higher-layer recovery, S6.2).
+    for r in results:
+        assert r.tcp_stall_s >= r.outage_s
+
+
+def test_tcp_rto_model(benchmark):
+    import pytest
+
+    stall = benchmark(tcp_recovery_time_s, 0.9)
+    # 0.2 + 0.4 + 0.8 fires at 1.4 s, the first instant past 0.9 s.
+    assert stall == pytest.approx(1.4)

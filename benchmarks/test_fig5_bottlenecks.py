@@ -1,0 +1,48 @@
+"""Fig. 5: bottlenecks from space-terrestrial asymmetry."""
+
+import pytest
+
+from repro.experiments import (
+    deadline_violation_factor,
+    gateway_concentration,
+    registration_delay_cdf,
+)
+from repro.orbits import starlink
+
+
+def test_fig5a_gateway_concentration(benchmark):
+    conc = benchmark(gateway_concentration, starlink())
+    print(f"\nFig. 5a -- gateway concentration: busiest gateway serves "
+          f"{conc.max_satellites} satellites vs {conc.mean_satellites:.1f}"
+          f" mean ({conc.concentration_factor:.1f}x)")
+    assert conc.concentration_factor > 2.0
+
+
+def test_fig5b_registration_latency_cdf(benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: {src: registration_delay_cdf(src, 2000)
+                 for src in ("inmarsat-explorer-710", "tiantong-sc310")},
+        rounds=1, iterations=1)
+    print("\nFig. 5b -- registration signaling latency CDF:")
+    for source, cdf in cdfs.items():
+        quartiles = [cdf[int(len(cdf) * q)][0] for q in (0.25, 0.5,
+                                                         0.75)]
+        mean = sum(d for d, _ in cdf) / len(cdf)
+        print(f"  {source:22s} p25={quartiles[0]:5.1f}s "
+              f"p50={quartiles[1]:5.1f}s p75={quartiles[2]:5.1f}s "
+              f"mean={mean:5.1f}s")
+    inmarsat_mean = sum(d for d, _ in cdfs["inmarsat-explorer-710"]) / 2000
+    tiantong_mean = sum(d for d, _ in cdfs["tiantong-sc310"]) / 2000
+    # Paper: 9.5 s and 13.5 s average registration delays.
+    assert inmarsat_mean == pytest.approx(9.5, rel=0.1)
+    assert tiantong_mean == pytest.approx(13.5, rel=0.1)
+    # Tiantong is consistently slower, matching Fig. 5b's CDFs.
+    assert tiantong_mean > inmarsat_mean
+
+
+def test_deadline_gap(benchmark):
+    """S2.2: such latency cannot meet 5G's <10 ms deadlines."""
+    factor = benchmark(deadline_violation_factor, "inmarsat-explorer-710")
+    print(f"\nRegistration median sits {factor:.0f}x over the 10 ms "
+          "baseband deadline")
+    assert factor > 100

@@ -1,0 +1,33 @@
+"""Fig. 7: breakdown of satellite CPU usage by core functions."""
+
+from repro.experiments import FIG7_RATES, fig7_cpu_breakdown
+from repro.hardware import RASPBERRY_PI_4, XEON_WORKSTATION
+
+
+def test_fig7a_hardware1(benchmark):
+    breakdowns = benchmark(fig7_cpu_breakdown, RASPBERRY_PI_4)
+    print("\nFig. 7a -- satellite CPU by function (hardware 1, RPi 4):")
+    for b in breakdowns:
+        top = sorted(b.by_function.items(), key=lambda kv: -kv[1])[:4]
+        parts = " ".join(f"{k}={v:.1f}%" for k, v in top)
+        print(f"  {b.rate_per_s * 2:6.0f} reg/s total="
+              f"{b.total_percent:5.1f}%  {parts}")
+    # Utilisation grows monotonically with the registration rate.
+    totals = [b.total_percent for b in breakdowns]
+    assert totals == sorted(totals)
+    # Hardware 1 approaches exhaustion at the top of the sweep (S3).
+    assert totals[-1] > 60.0
+    # AMF and AUSF are major consumers during registrations.
+    final = breakdowns[-1].by_function
+    assert final["AMF"] > 0 and final["AUSF"] > 0
+
+
+def test_fig7b_hardware2(benchmark):
+    breakdowns = benchmark(fig7_cpu_breakdown, XEON_WORKSTATION)
+    print("\nFig. 7b -- satellite CPU by function (hardware 2, Xeon):")
+    for b in breakdowns[-3:]:
+        print(f"  {b.rate_per_s * 2:6.0f} reg/s total="
+              f"{b.total_percent:5.1f}%")
+    rpi = fig7_cpu_breakdown(RASPBERRY_PI_4)
+    # The workstation runs the same load far cooler.
+    assert breakdowns[-1].total_percent < rpi[-1].total_percent / 3

@@ -1,0 +1,27 @@
+"""Fig. 8: signaling latency by satellite hardware under load."""
+
+from repro.experiments import fig8_latency_sweep
+
+
+def test_fig8_latency(benchmark):
+    points = benchmark(fig8_latency_sweep)
+    print("\nFig. 8 -- signaling latency vs rate (registration / "
+          "session):")
+    for p in points:
+        flag = " SATURATED" if p.registration.saturated else ""
+        print(f"  {p.platform:18s} {p.rate_per_s:4d}/s  "
+              f"reg={p.registration.total_s:7.3f}s  "
+              f"sess={p.session.total_s:7.3f}s{flag}")
+
+    rpi = [p for p in points if "rpi" in p.platform]
+    xeon = [p for p in points if "xeon" in p.platform]
+    # Latency is monotone in rate on the slow platform.
+    rpi_reg = [p.registration.total_s for p in rpi]
+    assert rpi_reg == sorted(rpi_reg)
+    # Fig. 8a: hardware 1 reaches multi-second latency at high rates,
+    # hardware 2 stays flat (the paper's bar-height contrast).
+    assert rpi[-1].registration.total_s > 1.0
+    assert xeon[-1].registration.total_s < rpi[-1].registration.total_s
+    # Sessions cost less than registrations at the same rate
+    # (fewer satellite-side messages per procedure).
+    assert rpi[0].session.total_s <= rpi[0].registration.total_s * 2

@@ -1,0 +1,49 @@
+"""Table 1: LEO mega-constellation parameters and derived dynamics."""
+
+import pytest
+
+from repro.orbits import TABLE1, IdealPropagator, mean_dwell_time_s
+
+
+def build_table1():
+    rows = []
+    for name, factory in TABLE1.items():
+        c = factory()
+        rows.append({
+            "constellation": name,
+            "sats_per_orbit": c.sats_per_plane,
+            "orbits": c.num_planes,
+            "total": c.total_satellites,
+            "altitude_km": c.altitude_km,
+            "inclination_deg": c.inclination_deg,
+            "speed_km_s": round(c.speed_km_s, 2),
+            "dwell_s": round(mean_dwell_time_s(c), 1),
+        })
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(build_table1)
+    print("\nTable 1 -- LEO satellite mega-constellations:")
+    for row in rows:
+        print("  {constellation:9s} n={sats_per_orbit:3d} m={orbits:3d} "
+              "total={total:5d} H={altitude_km:6.0f} km "
+              "i={inclination_deg:5.1f} v={speed_km_s} km/s "
+              "dwell={dwell_s}s".format(**row))
+    by_name = {r["constellation"]: r for r in rows}
+    # Paper values, verbatim.
+    assert by_name["Starlink"]["total"] == 1584
+    assert by_name["OneWeb"]["total"] == 720
+    assert by_name["Kuiper"]["total"] == 1156
+    assert by_name["Iridium"]["total"] == 66
+    assert by_name["Starlink"]["speed_km_s"] == pytest.approx(7.6,
+                                                              abs=0.05)
+    # The S3.2 dwell transient for Starlink.
+    assert by_name["Starlink"]["dwell_s"] == pytest.approx(165.8, rel=0.05)
+
+
+def test_propagation_throughput(benchmark):
+    """Substrate speed: full-constellation position computation."""
+    propagator = IdealPropagator(TABLE1["Starlink"]())
+    result = benchmark(propagator.positions_ecef, 1234.5)
+    assert result.shape == (1584, 3)

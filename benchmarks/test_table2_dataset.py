@@ -1,0 +1,40 @@
+"""Table 2: overview of the signaling datasets (synthesised replay)."""
+
+from repro.workload import (
+    TABLE2_COUNTS,
+    layer_mix,
+    synthesize,
+    table2_summary,
+    total_messages,
+)
+
+PAPER_TOTALS = {
+    "inmarsat-explorer-710": 971_120,
+    "tiantong-sc310": 2_106_916,
+    "tiantong-t900": 4_279_736,
+    "china-telecom": 3_857_732,
+    "china-unicom": 1_491_534,
+    "china-mobile": 8_480_488,
+}
+
+
+def test_table2_overview(benchmark):
+    summary = benchmark(table2_summary)
+    print("\nTable 2 -- dataset overview (messages per layer):")
+    header = ["L1/L2", "RRC", "MM", "SM", "Others"]
+    for source, counts, total in summary:
+        cells = " ".join(f"{counts.get(h, 0):>9d}" for h in header)
+        print(f"  {source:22s} {cells}  total={total:>9d}")
+    for source, expected in PAPER_TOTALS.items():
+        assert total_messages(source) == expected
+
+
+def test_trace_synthesis(benchmark):
+    """Synthesize a replayable trace with the Tiantong SC310 mix."""
+    trace = benchmark(synthesize, "tiantong-sc310", 5000, 3600.0, 1)
+    assert len(trace) == 5000
+    mm_fraction = sum(1 for m in trace if m.layer == "MM") / len(trace)
+    expected = layer_mix("tiantong-sc310")["MM"]
+    assert abs(mm_fraction - expected) < 0.02
+    print(f"\nSynthesized 5000-message SC310 trace; MM fraction "
+          f"{mm_fraction:.3f} (dataset: {expected:.3f})")

@@ -1,0 +1,44 @@
+"""Table 3: SpaceCore's geospatial cell sizes in real constellations."""
+
+from repro.geo import GeospatialCellGrid
+from repro.orbits import kuiper, oneweb, starlink
+
+#: Paper's Table 3 (km^2), for shape reference in the printout.
+PAPER_ROWS = {
+    "Starlink": (93_382, 1_616_366, 471_476),
+    "Kuiper": (116_716, 1_685_950, 526_697),
+    "OneWeb": (336_294, 4_508_080, 1_573_215),
+}
+
+
+def compute_table3(samples=25_000):
+    rows = {}
+    for factory in (starlink, kuiper, oneweb):
+        constellation = factory()
+        grid = GeospatialCellGrid(constellation)
+        rows[constellation.name] = grid.cell_size_statistics(samples)
+    return rows
+
+
+def test_table3_cell_sizes(benchmark):
+    rows = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    print("\nTable 3 -- geospatial cell sizes (measured vs paper):")
+    for name, stats in rows.items():
+        p_min, p_max, p_avg = PAPER_ROWS[name]
+        print(f"  {name:9s} min {stats.min_km2:>10.0f} "
+              f"max {stats.max_km2:>10.0f} avg {stats.avg_km2:>10.0f} "
+              f"| paper: {p_min} / {p_max} / {p_avg}")
+        # Shape assertions: the 1e5-1e6 km^2 class with a wide spread.
+        assert 1e5 < stats.avg_km2 < 3e6
+        assert stats.max_km2 / stats.min_km2 > 5.0
+    # Ordering: fewer satellites -> bigger average cells.
+    assert (rows["OneWeb"].avg_km2 > rows["Starlink"].avg_km2)
+
+
+def test_cell_lookup_throughput(benchmark):
+    """Point-in-cell lookup is on every packet's fast path."""
+    import math
+    grid = GeospatialCellGrid(starlink())
+    cell = benchmark(grid.cell_of, math.radians(39.9),
+                     math.radians(116.4))
+    assert 0 <= cell[0] < grid.num_columns

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot
+build.  ``python setup.py develop`` provides the same editable install
+through the classic code path; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Baseline systems and placement options the paper compares against."""
+
+from .base import ACTIVE_FRACTION, Side, Solution, StateResidency
+from .options import (
+    ALL_OPTIONS,
+    OPTION_LABELS,
+    option1_radio_only,
+    option2_data_session,
+    option3_session_mobility,
+    option4_all_functions,
+)
+from .solutions import (
+    ALL_SOLUTIONS,
+    SPACECORE_CRYPTO_OVERHEAD_S,
+    baoyun,
+    dpcm,
+    fiveg_ntn,
+    skycore,
+    solution_by_name,
+    spacecore,
+)
+
+__all__ = [
+    "ACTIVE_FRACTION", "Side", "Solution", "StateResidency",
+    "ALL_OPTIONS", "OPTION_LABELS", "option1_radio_only",
+    "option2_data_session", "option3_session_mobility",
+    "option4_all_functions",
+    "ALL_SOLUTIONS", "SPACECORE_CRYPTO_OVERHEAD_S", "baoyun", "dpcm",
+    "fiveg_ntn", "skycore", "solution_by_name", "spacecore",
+]

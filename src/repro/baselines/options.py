@@ -1,0 +1,79 @@
+"""The four core-function placement options of Fig. 6 (S3).
+
+The what-if analysis of S3 progressively pushes functions into the
+satellite:
+
+* Option 1 -- radio access only (5G NTN regeneration mode);
+* Option 2 -- + data session (UPF), planned in the 5G roadmap;
+* Option 3 -- + mobility (AMF/SMF), the Baoyun configuration;
+* Option 4 -- + security (AUSF/UDM/PCF): everything in orbit.
+
+All four run the *legacy stateful* flows of Fig. 9; what changes is
+which messages cross the space-ground boundary and which mobility
+procedures satellite motion triggers.  Fig. 10 sweeps exactly these
+four design points.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..fiveg.messages import LEGACY_FLOWS, Role
+from .base import Solution, StateResidency
+
+_RADIO = frozenset({Role.RAN, Role.RAN2})
+
+
+def option1_radio_only() -> Solution:
+    """Fig. 6a: satellites carry only the radio access."""
+    return Solution(
+        name="Option 1 (radio only)",
+        on_board=_RADIO,
+        flows=dict(LEGACY_FLOWS),
+        mobility_registration_per_pass=False,
+        state_residency=StateResidency.RELAY_ONLY,
+        ip_stable_under_satellite_mobility=True,
+    )
+
+
+def option2_data_session() -> Solution:
+    """Fig. 6b: radio plus a local UPF for data sessions."""
+    return Solution(
+        name="Option 2 (data session)",
+        on_board=_RADIO | frozenset({Role.UPF}),
+        flows=dict(LEGACY_FLOWS),
+        mobility_registration_per_pass=False,
+        state_residency=StateResidency.RELAY_ONLY,
+    )
+
+
+def option3_session_mobility() -> Solution:
+    """Fig. 6c: the Baoyun split with AMF/SMF on board."""
+    return Solution(
+        name="Option 3 (session & mobility)",
+        on_board=_RADIO | frozenset({Role.UPF, Role.AMF, Role.SMF}),
+        flows=dict(LEGACY_FLOWS),
+        mobility_registration_per_pass=True,
+        state_residency=StateResidency.ACTIVE_CONTEXTS,
+    )
+
+
+def option4_all_functions() -> Solution:
+    """Fig. 6d: the whole core, security included, in orbit."""
+    return Solution(
+        name="Option 4 (all functions)",
+        on_board=_RADIO | frozenset({Role.UPF, Role.AMF, Role.SMF,
+                                     Role.AUSF, Role.UDM, Role.PCF,
+                                     Role.ANCHOR_UPF}),
+        flows=dict(LEGACY_FLOWS),
+        mobility_registration_per_pass=True,
+        state_residency=StateResidency.ALL_SUBSCRIBERS,
+    )
+
+
+#: Fig. 10's column order.
+ALL_OPTIONS = (option1_radio_only, option2_data_session,
+               option3_session_mobility, option4_all_functions)
+
+OPTION_LABELS: Tuple[str, ...] = ("Radio only", "Data session",
+                                  "Session & mobility", "All functions")

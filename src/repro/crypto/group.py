@@ -1,0 +1,162 @@
+"""Algebraic substrate: a Schnorr group and a prime field.
+
+All public-key machinery in SpaceCore (Algorithm 2's Diffie-Hellman,
+the home's state signatures, the ABE secret sharing) runs over two
+deterministic structures:
+
+* ``SCHNORR_GROUP``: a 512-bit safe-prime group (p = 2q + 1) with a
+  generator of prime order q.  512 bits keeps the pure-Python modular
+  exponentiation fast enough for the latency micro-benchmarks while
+  preserving the real protocol structure.  The constants were produced
+  once by a seeded Miller-Rabin search (seed 20220822, the paper's
+  conference date) and are fixed here.
+* ``SHARE_FIELD``: the prime field F_q over the Mersenne prime
+  2^521 - 1, used for Shamir secret sharing in the ABE scheme.
+
+This is a *reproduction-grade* parameterisation: the algebra and the
+protocol flows are real, the key sizes are scaled for simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+#: 512-bit safe prime p = 2q + 1.
+_P = int(
+    "0x8388e403a7ff7aa89fb163fb9197d703770381138e3e00acc26922bb0636cc5b"
+    "2231676e54ee6e18a118b26ee875b9dcd37382fdf22d336c9c80185fb6af9cd3", 16)
+#: The 511-bit prime group order q = (p - 1) / 2.
+_Q = int(
+    "0x41c47201d3ffbd544fd8b1fdc8cbeb81bb81c089c71f00566134915d831b662d"
+    "9118b3b72a77370c508c5937743adcee69b9c17ef91699b64e400c2fdb57ce69", 16)
+_G = 4
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A multiplicative group of prime order q inside Z_p^*."""
+
+    p: int
+    q: int
+    g: int
+
+    def random_scalar(self, rng=None) -> int:
+        """A uniform nonzero exponent modulo q."""
+        if rng is not None:
+            return rng.randrange(1, self.q)
+        return secrets.randbelow(self.q - 1) + 1
+
+    def power(self, base: int, exponent: int) -> int:
+        """``base ** exponent mod p``."""
+        return pow(base, exponent, self.p)
+
+    def generate(self, exponent: int) -> int:
+        """g^exponent mod p."""
+        return pow(self.g, exponent, self.p)
+
+    def is_element(self, x: int) -> bool:
+        """Membership test for the order-q subgroup."""
+        return 0 < x < self.p and pow(x, self.q, self.p) == 1
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Hash arbitrary byte strings into an exponent (Fiat-Shamir)."""
+        digest = hashlib.sha512()
+        for part in parts:
+            digest.update(len(part).to_bytes(8, "big"))
+            digest.update(part)
+        return int.from_bytes(digest.digest(), "big") % self.q
+
+    def element_bytes(self, x: int) -> bytes:
+        """Fixed-width big-endian encoding of a group element."""
+        return x.to_bytes((self.p.bit_length() + 7) // 8, "big")
+
+
+SCHNORR_GROUP = SchnorrGroup(p=_P, q=_Q, g=_G)
+
+
+def is_probable_prime(n: int, rounds: int = 40,
+                      rng=None) -> bool:
+    """Miller-Rabin primality test (deterministic enough at 40 rounds).
+
+    Used by the test suite to verify the hard-coded group constants;
+    exposed because downstream users regenerating parameters need it.
+    """
+    import random as _random
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    rng = rng or _random.Random(0xC0FFEE)
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+#: Mersenne prime 2^127 - 1: the Shamir share field for ABE.  A 127-bit
+#: field keeps Lagrange interpolation in the tens of microseconds --
+#: the Fig. 18a regime -- while preserving the scheme's structure.
+SHARE_PRIME = (1 << 127) - 1
+
+
+class ShareField:
+    """Arithmetic helpers over F_(2^127 - 1)."""
+
+    prime = SHARE_PRIME
+
+    @classmethod
+    def random(cls, rng=None) -> int:
+        if rng is not None:
+            return rng.randrange(cls.prime)
+        return secrets.randbelow(cls.prime)
+
+    @classmethod
+    def add(cls, a: int, b: int) -> int:
+        return (a + b) % cls.prime
+
+    @classmethod
+    def mul(cls, a: int, b: int) -> int:
+        return (a * b) % cls.prime
+
+    @classmethod
+    def inv(cls, a: int) -> int:
+        if a % cls.prime == 0:
+            raise ZeroDivisionError("no inverse of zero")
+        return pow(a, cls.prime - 2, cls.prime)
+
+    @classmethod
+    def eval_poly(cls, coefficients, x: int) -> int:
+        """Horner evaluation of a polynomial with ``coefficients[0]``
+        the constant term."""
+        acc = 0
+        for coeff in reversed(coefficients):
+            acc = (acc * x + coeff) % cls.prime
+        return acc
+
+    @classmethod
+    def lagrange_at_zero(cls, points) -> int:
+        """Interpolate ``points = [(x, y), ...]`` and evaluate at 0."""
+        total = 0
+        for i, (xi, yi) in enumerate(points):
+            num, den = 1, 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                num = num * (-xj) % cls.prime
+                den = den * (xi - xj) % cls.prime
+            total = (total + yi * num * cls.inv(den)) % cls.prime
+        return total

@@ -1,0 +1,111 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+See DESIGN.md's experiment index for the mapping from paper artifacts
+(Tables 1-4, Figures 5-21) to these modules and their benchmarks.
+"""
+
+from .availability import (
+    AvailabilityPoint,
+    availability_gap,
+    availability_sweep,
+    gateway_reachability,
+)
+from .bottleneck import (
+    GatewayConcentration,
+    deadline_violation_factor,
+    gateway_concentration,
+    registration_delay_cdf,
+)
+from .cpu import (
+    FIG7_RATES,
+    FIG8_RATES,
+    LatencyPoint,
+    fig7_cpu_breakdown,
+    fig7_saturation_rate,
+    fig8_latency_sweep,
+)
+from .leakage import LeakageStudy, fig19_study, final_hijack_leaks
+from .moving_areas import (
+    ServiceAreaChurn,
+    fig11_comparison,
+    geospatial_area_churn,
+    logical_area_churn,
+)
+from .prototype import (
+    FIG17_RATES,
+    PrototypePoint,
+    fig17_sweep,
+    session_latency_comparison,
+    solution_cpu_percent,
+    solution_latency_s,
+)
+from .relay import (
+    RelayComparison,
+    RelayTrial,
+    compare_ideal_vs_j4,
+    path_stretch_vs_optimal,
+    relay_trials,
+)
+from .report import generate_report, write_report
+from .sensitivity import (
+    ScalingPoint,
+    SensitivityPoint,
+    by_parameter,
+    constellation_scaling,
+    sensitivity_sweep,
+    worst_case_reduction,
+)
+from .signaling import (
+    ACTIVE_SATELLITE_FRACTION,
+    SignalingLoad,
+    mean_hops_to_ground,
+    reduction_factors,
+    signaling_load,
+    sweep,
+)
+from .temporal import (
+    TemporalSample,
+    load_variation,
+    satellite_ground_track_load,
+)
+from .state_footprint import (
+    StateFootprint,
+    durable_vs_ephemeral,
+    footprint_comparison,
+    satellite_state_footprint,
+)
+from .userlevel import (
+    StallResult,
+    fig21_comparison,
+    satellite_pass_impact,
+    stall_summary,
+    tcp_recovery_time_s,
+)
+
+__all__ = [
+    "AvailabilityPoint", "availability_gap", "availability_sweep",
+    "gateway_reachability",
+    "GatewayConcentration", "deadline_violation_factor",
+    "gateway_concentration", "registration_delay_cdf",
+    "FIG7_RATES", "FIG8_RATES", "LatencyPoint", "fig7_cpu_breakdown",
+    "fig7_saturation_rate", "fig8_latency_sweep",
+    "LeakageStudy", "fig19_study", "final_hijack_leaks",
+    "FIG17_RATES", "PrototypePoint", "fig17_sweep",
+    "session_latency_comparison", "solution_cpu_percent",
+    "solution_latency_s",
+    "RelayComparison", "RelayTrial", "compare_ideal_vs_j4",
+    "path_stretch_vs_optimal", "relay_trials",
+    "ACTIVE_SATELLITE_FRACTION", "SignalingLoad", "mean_hops_to_ground",
+    "reduction_factors", "signaling_load", "sweep",
+    "TemporalSample", "load_variation", "satellite_ground_track_load",
+    "StallResult", "fig21_comparison", "satellite_pass_impact",
+    "stall_summary", "tcp_recovery_time_s",
+    "generate_report", "write_report",
+    "ServiceAreaChurn", "fig11_comparison", "geospatial_area_churn",
+    "logical_area_churn",
+    "ScalingPoint", "SensitivityPoint", "by_parameter",
+    "constellation_scaling", "sensitivity_sweep",
+    "worst_case_reduction",
+    "StateFootprint", "durable_vs_ephemeral", "footprint_comparison",
+    "satellite_state_footprint",
+]

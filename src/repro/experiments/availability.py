@@ -1,0 +1,119 @@
+"""Service availability under space-segment failures.
+
+Extends S3.3's qualitative argument into a sweep: as satellites fail
+(radiation, debris, geomagnetic storms) and links degrade, what
+fraction of session establishments still completes?
+
+Two effects compound for home-routed designs:
+
+* **procedure fragility** -- every message of a long stateful flow
+  must survive its links (exponential in flow length x path length);
+* **reachability** -- the ISL path to a gateway must still exist.
+
+SpaceCore's four local radio messages dodge both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..baselines.base import Solution
+from ..baselines.solutions import fiveg_ntn, spacecore
+from ..faults.failures import procedure_success_probability
+from ..fiveg.messages import ProcedureKind
+from ..orbits.constellation import Constellation
+from ..orbits.groundstations import default_ground_stations
+from ..orbits.propagator import IdealPropagator
+from ..topology.grid import GridTopology
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """Session-establishment availability at one failure level."""
+
+    failure_fraction: float
+    solution: str
+    reachability: float          # fraction of sats that reach a gateway
+    procedure_survival: float    # per-attempt message-level survival
+    availability: float          # the product
+
+
+def gateway_reachability(constellation: Constellation,
+                         failure_fraction: float,
+                         seed: int = 0,
+                         t: float = 0.0) -> float:
+    """Fraction of live satellites with an ISL path to some gateway."""
+    if not 0.0 <= failure_fraction < 1.0:
+        raise ValueError("failure fraction must be in [0, 1)")
+    stations = default_ground_stations()
+    topology = GridTopology(IdealPropagator(constellation), stations)
+    rng = random.Random(seed)
+    total = constellation.total_satellites
+    for sat in rng.sample(range(total), int(total * failure_fraction)):
+        topology.fail_satellite(sat)
+    graph = topology.snapshot_graph(t, include_ground=False)
+    sources = set()
+    for gs in stations:
+        access = topology.station_access_satellite(gs, t)
+        if access >= 0:
+            sources.add(access)
+    if not sources:
+        return 0.0
+    reachable = set()
+    for component in nx.connected_components(graph):
+        if component & sources:
+            reachable |= component
+    live = graph.number_of_nodes()
+    return len(reachable) / live if live else 0.0
+
+
+def availability_sweep(constellation: Constellation,
+                       failure_fractions: Tuple[float, ...] = (
+                           0.0, 0.025, 0.05, 0.1, 0.2),
+                       per_link_loss: float = 0.02,
+                       path_hops: float = 6.0,
+                       seed: int = 0) -> List[AvailabilityPoint]:
+    """Compare SpaceCore vs 5G NTN availability as failures mount.
+
+    ``per_link_loss`` is the per-wireless-hop message loss; messages
+    crossing to the ground traverse ``path_hops`` links.
+    """
+    points: List[AvailabilityPoint] = []
+    for fraction in failure_fractions:
+        reach = gateway_reachability(constellation, fraction, seed)
+        for solution in (spacecore(), fiveg_ntn()):
+            flow = solution.flow(ProcedureKind.SESSION_ESTABLISHMENT)
+            crossing = solution.crossing_messages(flow)
+            local = len(flow) - crossing
+            # Local messages ride one radio hop; crossing messages ride
+            # the radio hop plus the ISL path.
+            crossing_loss = 1.0 - (1.0 - per_link_loss) ** path_hops
+            survival = (procedure_success_probability(local,
+                                                      per_link_loss)
+                        * procedure_success_probability(crossing,
+                                                        crossing_loss))
+            needs_gateway = crossing > 0
+            availability = survival * (reach if needs_gateway else 1.0)
+            points.append(AvailabilityPoint(
+                failure_fraction=fraction,
+                solution=solution.name,
+                reachability=reach if needs_gateway else 1.0,
+                procedure_survival=survival,
+                availability=availability,
+            ))
+    return points
+
+
+def availability_gap(points: List[AvailabilityPoint]
+                     ) -> Dict[float, float]:
+    """SpaceCore's availability advantage at each failure level."""
+    by_level: Dict[float, Dict[str, float]] = {}
+    for point in points:
+        by_level.setdefault(point.failure_fraction, {})[
+            point.solution] = point.availability
+    return {level: values["SpaceCore"] - values["5G NTN"]
+            for level, values in by_level.items()}

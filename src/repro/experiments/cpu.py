@@ -1,0 +1,96 @@
+"""CPU usage breakdown by core function (Fig. 7) and latency (Fig. 8).
+
+Fig. 7 puts the full in-orbit function set (Option 3/4) on each of the
+two satellite platforms and sweeps the initial/mobility registration
+rate from 10 to 250 per second, reporting per-NF stacked CPU
+utilisation.  Fig. 8 sweeps the same rates and reports the queueing
+latency of registrations and session establishments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..baselines.options import option4_all_functions
+from ..fiveg.messages import (
+    INITIAL_REGISTRATION_FLOW,
+    MOBILITY_REGISTRATION_FLOW,
+    SESSION_ESTABLISHMENT_FLOW,
+)
+from ..hardware.model import (
+    CpuBreakdown,
+    HardwarePlatform,
+    PLATFORMS,
+    cpu_breakdown,
+)
+from ..hardware.queueing import LatencyEstimate, procedure_latency
+
+#: Fig. 7's x-axis.
+FIG7_RATES: Tuple[int, ...] = (10, 20, 30, 40, 50, 70, 100, 150, 200, 250)
+
+#: Fig. 8's x-axis.
+FIG8_RATES: Tuple[int, ...] = (10, 50, 100, 200, 300, 400, 500)
+
+#: Registrations replayed in Fig. 7 mix initial and mobility runs.
+_REGISTRATION_FLOW = (INITIAL_REGISTRATION_FLOW
+                      + MOBILITY_REGISTRATION_FLOW)
+
+
+def fig7_cpu_breakdown(platform: HardwarePlatform,
+                       rates: Sequence[int] = FIG7_RATES
+                       ) -> List[CpuBreakdown]:
+    """Per-NF CPU utilisation at each registration rate (Fig. 7)."""
+    option = option4_all_functions()
+    half_each = [m for m in INITIAL_REGISTRATION_FLOW] + \
+        [m for m in MOBILITY_REGISTRATION_FLOW]
+    return [cpu_breakdown(platform, rate / 2.0, half_each,
+                          option.on_board)
+            for rate in rates]
+
+
+def fig7_saturation_rate(platform: HardwarePlatform,
+                         max_rate: int = 2000) -> int:
+    """The registration rate at which the platform saturates."""
+    option = option4_all_functions()
+    for rate in range(10, max_rate + 1, 10):
+        breakdown = cpu_breakdown(platform, rate / 2.0,
+                                  _REGISTRATION_FLOW, option.on_board)
+        if breakdown.saturated:
+            return rate
+    return max_rate
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One Fig. 8 sample."""
+
+    platform: str
+    rate_per_s: int
+    registration: LatencyEstimate
+    session: LatencyEstimate
+
+
+def fig8_latency_sweep(ground_rtt_s: float = 0.030,
+                       rates: Sequence[int] = FIG8_RATES
+                       ) -> List[LatencyPoint]:
+    """Signaling latency vs load on both platforms (Fig. 8).
+
+    Uses the Option 3 placement (Baoyun-like, matching the prototype)
+    with the home a ~30 ms round trip away.
+    """
+    from ..baselines.options import option3_session_mobility
+    option = option3_session_mobility()
+    points: List[LatencyPoint] = []
+    for platform in PLATFORMS:
+        for rate in rates:
+            # Fig. 8a replays initial *and* mobility registrations.
+            registration = procedure_latency(
+                platform, rate, _REGISTRATION_FLOW,
+                option.on_board, ground_rtt_s)
+            session = procedure_latency(
+                platform, rate, SESSION_ESTABLISHMENT_FLOW,
+                option.on_board, ground_rtt_s)
+            points.append(LatencyPoint(platform.name, rate,
+                                       registration, session))
+    return points

@@ -1,0 +1,114 @@
+"""Sensitivity analysis: does the Table 4 conclusion survive the model?
+
+The signaling-reduction factors rest on calibrated parameters -- mean
+ISL hops to a gateway, the number of gateways, the active-UE fraction,
+the satellite capacity.  A reviewer's first question is whether the
+headline ("SpaceCore reduces satellite signaling by an order of
+magnitude or more") is an artifact of one parameter choice.  This
+module perturbs each parameter across a wide range and reports the
+worst-case reduction factor observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..baselines.solutions import ALL_SOLUTIONS, fiveg_ntn, spacecore
+from ..orbits.constellation import Constellation
+from ..orbits.groundstations import default_ground_stations
+from .signaling import signaling_load
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One parameter perturbation and the resulting reduction."""
+
+    parameter: str
+    value: float
+    reduction_vs_ntn: float
+
+
+def _reduction(constellation: Constellation, capacity: int,
+               stations, hops: float) -> float:
+    sc = signaling_load(spacecore(), constellation, capacity, stations,
+                        hops)
+    ntn = signaling_load(fiveg_ntn(), constellation, capacity,
+                         stations, hops)
+    return (ntn.satellite_hotspot_per_s
+            / sc.satellite_hotspot_per_s)
+
+
+def sensitivity_sweep(constellation: Constellation,
+                      base_capacity: int = 30_000
+                      ) -> List[SensitivityPoint]:
+    """Perturb hops, gateway count, and capacity one at a time."""
+    points: List[SensitivityPoint] = []
+    base_stations = default_ground_stations()
+
+    for hops in (2.0, 5.0, 10.0, 20.0):
+        points.append(SensitivityPoint(
+            "mean_hops", hops,
+            _reduction(constellation, base_capacity, base_stations,
+                       hops)))
+
+    for gateway_count in (4, 8, 16, 26):
+        stations = default_ground_stations(gateway_count)
+        points.append(SensitivityPoint(
+            "gateways", float(gateway_count),
+            _reduction(constellation, base_capacity, stations, 5.0)))
+
+    for capacity in (2_000, 10_000, 20_000, 30_000):
+        points.append(SensitivityPoint(
+            "capacity", float(capacity),
+            _reduction(constellation, capacity, base_stations, 5.0)))
+    return points
+
+
+def worst_case_reduction(points: Sequence[SensitivityPoint]) -> float:
+    """The minimum reduction across every perturbation."""
+    return min(p.reduction_vs_ntn for p in points)
+
+
+def by_parameter(points: Sequence[SensitivityPoint]
+                 ) -> Dict[str, List[SensitivityPoint]]:
+    """Group sensitivity points by the perturbed parameter."""
+    grouped: Dict[str, List[SensitivityPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.parameter, []).append(point)
+    return grouped
+
+
+# ---------------------------------------------------------------------------
+# Constellation-size scaling
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Reduction factor for one synthetic shell size."""
+
+    total_satellites: int
+    reduction_vs_ntn: float
+
+
+def constellation_scaling(sizes: Sequence[Tuple[int, int]] = (
+        (6, 11), (18, 20), (36, 20), (72, 22)),
+        altitude_km: float = 550.0,
+        inclination_deg: float = 53.0,
+        capacity: int = 30_000) -> List[ScalingPoint]:
+    """SpaceCore's advantage vs shell size (synthetic Walker shells).
+
+    The paper's trend: the denser the constellation, the harsher the
+    stateful storm -- and the larger SpaceCore's win.
+    """
+    from .signaling import mean_hops_to_ground
+    points: List[ScalingPoint] = []
+    stations = default_ground_stations()
+    for planes, slots in sizes:
+        shell = Constellation("scaling", slots, planes, altitude_km,
+                              inclination_deg, min_elevation_deg=32.0)
+        hops = mean_hops_to_ground(shell, stations)
+        points.append(ScalingPoint(
+            shell.total_satellites,
+            _reduction(shell, capacity, stations, hops)))
+    return points

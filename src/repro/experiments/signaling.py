@@ -1,0 +1,218 @@
+"""Signaling-storm arithmetic: Fig. 10, Fig. 20, and Table 4.
+
+For every (solution, constellation, capacity) point we compute:
+
+* the **mean satellite** load: messages a typical serving satellite
+  originates, terminates, or relays each second, including its fair
+  share of multi-hop transit toward ground stations;
+* the **hotspot satellite** load: the gateway-access satellite, which
+  funnels its ground station's entire aggregate -- this is the
+  bottleneck node the paper's per-satellite bars report;
+* the **ground station** load: the aggregate of every active
+  satellite's boundary-crossing messages, divided across gateways --
+  the space-terrestrial asymmetry that makes the GS bars an order of
+  magnitude taller (S3.1).
+
+Event rates follow S3.1/S3.2: sessions every 106.9 s per user,
+handovers/mobility registrations once per coverage pass, all scaled by
+the satellite's user capacity {2K, 10K, 20K, 30K}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..baselines.base import Solution
+from ..baselines.options import ALL_OPTIONS
+from ..baselines.solutions import ALL_SOLUTIONS
+from ..constants import SATELLITE_CAPACITIES
+from ..fiveg.messages import ProcedureKind
+from ..orbits.constellation import Constellation
+from ..orbits.coverage import mean_dwell_time_s
+from ..orbits.groundstations import GroundStation, default_ground_stations
+from ..orbits.propagator import IdealPropagator
+from ..topology.grid import GridTopology
+
+#: Fraction of satellites over populated land at any instant; ocean
+#: and polar passes serve almost nobody (World Bank density, S6.2).
+ACTIVE_SATELLITE_FRACTION = 0.45
+
+#: Procedure groups for the Fig. 10 row split.
+SESSION_KINDS = (ProcedureKind.SESSION_ESTABLISHMENT,
+                 ProcedureKind.INITIAL_REGISTRATION)
+MOBILITY_KINDS = (ProcedureKind.HANDOVER,
+                  ProcedureKind.MOBILITY_REGISTRATION)
+
+
+@dataclass(frozen=True)
+class SignalingLoad:
+    """Per-second signaling load at one design point."""
+
+    solution: str
+    constellation: str
+    capacity: int
+    satellite_mean_per_s: float
+    satellite_hotspot_per_s: float
+    ground_station_per_s: float
+    by_procedure_satellite: Dict[ProcedureKind, float]
+    by_procedure_ground: Dict[ProcedureKind, float]
+
+    def satellite_rows(self) -> Tuple[float, float]:
+        """(session row, mobility row) of Fig. 10's satellite panels."""
+        session = sum(self.by_procedure_satellite[k]
+                      for k in SESSION_KINDS)
+        mobility = sum(self.by_procedure_satellite[k]
+                       for k in MOBILITY_KINDS)
+        return session, mobility
+
+    def ground_rows(self) -> Tuple[float, float]:
+        """(session row, mobility row) of the ground-station panels."""
+        session = sum(self.by_procedure_ground[k] for k in SESSION_KINDS)
+        mobility = sum(self.by_procedure_ground[k]
+                       for k in MOBILITY_KINDS)
+        return session, mobility
+
+
+def mean_hops_to_ground(constellation: Constellation,
+                        stations: Optional[Sequence[GroundStation]] = None,
+                        t: float = 0.0) -> float:
+    """Mean ISL hop count from a satellite to its nearest gateway.
+
+    Multi-source BFS from every gateway's access satellite over the
+    +Grid graph -- the multi-hop factor of the storm arithmetic ("up
+    to 48" hops in the paper's polar worst case).
+    """
+    stations = (list(stations) if stations is not None
+                else default_ground_stations())
+    topology = GridTopology(IdealPropagator(constellation), stations)
+    graph = topology.snapshot_graph(t, include_ground=False)
+    sources = set()
+    for gs in stations:
+        access = topology.station_access_satellite(gs, t)
+        if access >= 0:
+            sources.add(access)
+    if not sources:
+        raise RuntimeError("no gateway has satellite coverage at t")
+    distances = nx.multi_source_dijkstra_path_length(
+        graph, sources, weight=None)
+    return sum(distances.values()) / len(distances)
+
+
+def _extra_local_messages(solution: Solution,
+                          kind: ProcedureKind) -> float:
+    """Sync/replica overheads beyond the base flow (per event)."""
+    extra = 0.0
+    if solution.sync_fanout and kind in (
+            ProcedureKind.SESSION_ESTABLISHMENT,
+            ProcedureKind.MOBILITY_REGISTRATION):
+        # Each state change is broadcast to sync_fanout neighbours;
+        # symmetric satellites both send and receive their share.
+        extra += 2.0 * solution.sync_fanout
+    return extra
+
+
+def _extra_crossing_messages(solution: Solution,
+                             kind: ProcedureKind) -> float:
+    """DPCM keeps the device replica coherent with the home."""
+    if solution.replica_update_messages and kind in (
+            ProcedureKind.SESSION_ESTABLISHMENT,
+            ProcedureKind.MOBILITY_REGISTRATION):
+        return float(solution.replica_update_messages)
+    return 0.0
+
+
+def signaling_load(solution: Solution, constellation: Constellation,
+                   capacity: int,
+                   stations: Optional[Sequence[GroundStation]] = None,
+                   hops: Optional[float] = None) -> SignalingLoad:
+    """The full load computation for one design point."""
+    stations = (list(stations) if stations is not None
+                else default_ground_stations())
+    if hops is None:
+        hops = mean_hops_to_ground(constellation, stations)
+    dwell = mean_dwell_time_s(constellation)
+    rates = solution.procedure_rates_per_user(dwell)
+    n_sats_active = constellation.total_satellites * \
+        ACTIVE_SATELLITE_FRACTION
+    gs_aggregation = n_sats_active / len(stations)
+
+    sat_by_kind: Dict[ProcedureKind, float] = {}
+    gs_by_kind: Dict[ProcedureKind, float] = {}
+    sat_mean_total = 0.0
+    gs_total = 0.0
+    crossing_origin_total = 0.0
+    for kind, per_user_rate in rates.items():
+        event_rate = capacity * per_user_rate
+        flow = solution.flow(kind)
+        local = solution.satellite_messages(flow)
+        crossing = (solution.crossing_messages(flow)
+                    + _extra_crossing_messages(solution, kind))
+        ground = (solution.ground_messages(flow)
+                  + _extra_crossing_messages(solution, kind))
+        local_extra = _extra_local_messages(solution, kind)
+        sat_rate = event_rate * (local + local_extra + crossing * hops)
+        gs_rate = event_rate * ground * gs_aggregation
+        sat_by_kind[kind] = sat_rate
+        gs_by_kind[kind] = gs_rate
+        sat_mean_total += sat_rate
+        gs_total += gs_rate
+        crossing_origin_total += event_rate * crossing
+    # The gateway-access satellite relays its GS's whole aggregate.
+    hotspot = sat_mean_total + crossing_origin_total * gs_aggregation
+    return SignalingLoad(
+        solution=solution.name,
+        constellation=constellation.name,
+        capacity=capacity,
+        satellite_mean_per_s=sat_mean_total,
+        satellite_hotspot_per_s=hotspot,
+        ground_station_per_s=gs_total,
+        by_procedure_satellite=sat_by_kind,
+        by_procedure_ground=gs_by_kind,
+    )
+
+
+def sweep(solutions: Iterable, constellations: Iterable[Constellation],
+          capacities: Sequence[int] = SATELLITE_CAPACITIES,
+          stations: Optional[Sequence[GroundStation]] = None
+          ) -> List[SignalingLoad]:
+    """Cartesian sweep used by Fig. 10 (options) and Fig. 20 (solutions).
+
+    ``solutions`` takes factories or instances.
+    """
+    stations = (list(stations) if stations is not None
+                else default_ground_stations())
+    results: List[SignalingLoad] = []
+    for constellation in constellations:
+        hops = mean_hops_to_ground(constellation, stations)
+        for item in solutions:
+            solution = item() if callable(item) else item
+            for capacity in capacities:
+                results.append(signaling_load(
+                    solution, constellation, capacity, stations, hops))
+    return results
+
+
+def reduction_factors(constellation: Constellation,
+                      capacity: int = 30_000,
+                      stations: Optional[Sequence[GroundStation]] = None
+                      ) -> Dict[str, float]:
+    """Table 4: SpaceCore's satellite signaling reduction per baseline.
+
+    Reduction = baseline hotspot load / SpaceCore hotspot load.
+    """
+    stations = (list(stations) if stations is not None
+                else default_ground_stations())
+    hops = mean_hops_to_ground(constellation, stations)
+    loads = {
+        factory().name: signaling_load(factory(), constellation, capacity,
+                                       stations, hops)
+        for factory in ALL_SOLUTIONS
+    }
+    spacecore_load = loads["SpaceCore"].satellite_hotspot_per_s
+    return {
+        name: load.satellite_hotspot_per_s / spacecore_load
+        for name, load in loads.items() if name != "SpaceCore"
+    }

@@ -1,0 +1,92 @@
+"""Simplified 5G-AKA: authentication and key agreement (TS 33.501).
+
+The P3 box of Fig. 9a.  The UE and the home UDM share a permanent key
+K (in the SIM); the home generates an authentication vector, the UE
+proves possession of K and verifies the network, and both sides derive
+the key hierarchy K_AUSF -> K_SEAF -> K_AMF.
+
+The derivation functions are HMAC-SHA256 with role labels standing in
+for the MILENAGE f1-f5 family -- the protocol *shape* (who computes
+what from what, and what travels where) matches the standard, which is
+what the state-migration and leakage analyses need.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+def _kdf(key: bytes, label: bytes, *context: bytes) -> bytes:
+    mac = hmac.new(key, label, hashlib.sha256)
+    for part in context:
+        mac.update(b"|" + part)
+    return mac.digest()
+
+
+@dataclass(frozen=True)
+class AuthenticationVector:
+    """The home-generated 5G HE AV: (RAND, AUTN, XRES*, K_AUSF).
+
+    This object is the "sensitive state" whose exposure on satellites
+    the paper warns about: anyone holding it can impersonate the
+    network to this UE.
+    """
+
+    rand: bytes
+    autn: bytes
+    xres_star: bytes
+    k_ausf: bytes
+
+    def serialize(self) -> bytes:
+        """Concatenated byte encoding (for sizing and hashing)."""
+        return b"".join((self.rand, self.autn, self.xres_star,
+                         self.k_ausf))
+
+
+def generate_vector(permanent_key: bytes,
+                    serving_network: str,
+                    rand: Optional[bytes] = None) -> AuthenticationVector:
+    """UDM/ARPF side: derive a fresh AV for one authentication run."""
+    rand = rand if rand is not None else secrets.token_bytes(16)
+    sn = serving_network.encode()
+    autn = _kdf(permanent_key, b"autn", rand)[:16]
+    res = _kdf(permanent_key, b"res", rand, sn)[:16]
+    xres_star = hashlib.sha256(rand + res).digest()[:16]
+    k_ausf = _kdf(permanent_key, b"kausf", rand, sn)
+    return AuthenticationVector(rand, autn, xres_star, k_ausf)
+
+
+def ue_response(permanent_key: bytes, serving_network: str,
+                rand: bytes, autn: bytes) -> Tuple[bytes, bytes]:
+    """UE/SIM side: verify AUTN (network authenticity), compute RES*.
+
+    Raises ``ValueError`` when AUTN fails -- a fake base station that
+    does not know K cannot produce a valid AUTN.
+    """
+    expected_autn = _kdf(permanent_key, b"autn", rand)[:16]
+    if not hmac.compare_digest(expected_autn, autn):
+        raise ValueError("network authentication failed (bad AUTN)")
+    sn = serving_network.encode()
+    res = _kdf(permanent_key, b"res", rand, sn)[:16]
+    res_star = hashlib.sha256(rand + res).digest()[:16]
+    k_ausf = _kdf(permanent_key, b"kausf", rand, sn)
+    return res_star, k_ausf
+
+
+def confirm_response(vector: AuthenticationVector, res_star: bytes) -> bool:
+    """AUSF side: check the UE's RES* against the vector."""
+    return hmac.compare_digest(vector.xres_star, res_star)
+
+
+def derive_k_seaf(k_ausf: bytes, serving_network: str) -> bytes:
+    """K_SEAF: the serving-network anchor key."""
+    return _kdf(k_ausf, b"kseaf", serving_network.encode())
+
+
+def derive_k_amf(k_seaf: bytes, supi: str) -> bytes:
+    """K_AMF: the AMF's NAS security key."""
+    return _kdf(k_seaf, b"kamf", supi.encode())

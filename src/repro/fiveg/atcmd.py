@@ -1,0 +1,166 @@
+"""AT-command UE proxy (S5, Implementation).
+
+"The proxy initiates this procedure with local UE states via the
+AT+CGQREQ command [102], which is piggybacked in the RRC connection
+setup complete message (thus saving signaling and round trips)."
+
+This module implements the small slice of TS 27.007 the SpaceCore UE
+proxy needs: a command codec (AT+CGQREQ with a state-blob parameter,
+AT+CGATT, AT+COPS) and the baseband-side parser that the satellite
+agent re-intercepts.  State blobs are base64-armoured so they survive
+the 7-bit command channel.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class AtCommandError(Exception):
+    """Malformed AT command or response."""
+
+
+@dataclass(frozen=True)
+class AtCommand:
+    """One parsed AT command."""
+
+    name: str
+    parameters: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """Serialize back to the AT command line."""
+        if not self.parameters:
+            return f"AT+{self.name}"
+        return f"AT+{self.name}=" + ",".join(self.parameters)
+
+
+def parse(line: str) -> AtCommand:
+    """Parse one AT command line."""
+    stripped = line.strip()
+    if not stripped.upper().startswith("AT+"):
+        raise AtCommandError(f"not an extended AT command: {line!r}")
+    body = stripped[3:]
+    if "=" in body:
+        name, _, args = body.partition("=")
+        parameters = tuple(part.strip() for part in args.split(","))
+    else:
+        name, parameters = body, ()
+    if not name:
+        raise AtCommandError("empty command name")
+    return AtCommand(name.upper(), parameters)
+
+
+# ---------------------------------------------------------------------------
+# SpaceCore's CGQREQ piggyback
+# ---------------------------------------------------------------------------
+
+#: QoS profile fields of the classic +CGQREQ (precedence, delay,
+#: reliability, peak, mean) -- kept for compatibility; SpaceCore
+#: appends the armoured state blob as a sixth parameter.
+_DEFAULT_QOS = ("1", "1", "1", "1", "1")
+
+
+def build_session_request(context_id: int,
+                          replica_bytes: bytes) -> AtCommand:
+    """The UE proxy's session-setup command with the state replica."""
+    if context_id < 1:
+        raise ValueError("PDP context ids are positive")
+    armoured = base64.b64encode(replica_bytes).decode("ascii")
+    return AtCommand("CGQREQ",
+                     (str(context_id),) + _DEFAULT_QOS + (armoured,))
+
+
+def extract_session_request(command: AtCommand) -> Tuple[int, bytes]:
+    """Satellite-agent side: recover (context id, replica bytes).
+
+    Raises :class:`AtCommandError` for anything that is not a
+    SpaceCore-extended CGQREQ -- the agent then falls back to legacy
+    handling (S5: "If unsuccessful ... rolls back").
+    """
+    if command.name != "CGQREQ":
+        raise AtCommandError(f"not a CGQREQ: {command.name}")
+    if len(command.parameters) < 7:
+        raise AtCommandError("no piggybacked state blob present")
+    try:
+        context_id = int(command.parameters[0])
+    except ValueError as exc:
+        raise AtCommandError("bad context id") from exc
+    try:
+        replica = base64.b64decode(command.parameters[6],
+                                   validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise AtCommandError("state blob is not valid base64") from exc
+    return context_id, replica
+
+
+class UeModemProxy:
+    """The system-app proxy running on a commodity UE (S5).
+
+    Stores the armoured replica at registration time and emits the
+    piggybacked CGQREQ at every session setup; tracks the context-id
+    space like a real modem would.
+    """
+
+    def __init__(self):
+        self._replica: Optional[bytes] = None
+        self._next_context = 1
+        self.commands_sent: List[AtCommand] = []
+
+    def install_replica(self, replica_bytes: bytes) -> None:
+        """Store the armoured state replica received at registration."""
+        if not replica_bytes:
+            raise ValueError("refusing to install an empty replica")
+        self._replica = replica_bytes
+
+    @property
+    def has_replica(self) -> bool:
+        return self._replica is not None
+
+    def request_session(self) -> AtCommand:
+        """Emit the piggybacked session request (P1' in Fig. 16a)."""
+        if self._replica is None:
+            raise AtCommandError(
+                "no replica installed; register with the home first")
+        command = build_session_request(self._next_context,
+                                        self._replica)
+        self._next_context += 1
+        self.commands_sent.append(command)
+        return command
+
+    def attach(self) -> AtCommand:
+        """Emit AT+CGATT=1 (PS attach)."""
+        command = AtCommand("CGATT", ("1",))
+        self.commands_sent.append(command)
+        return command
+
+    def detach(self) -> AtCommand:
+        """Emit AT+CGATT=0 (PS detach)."""
+        command = AtCommand("CGATT", ("0",))
+        self.commands_sent.append(command)
+        return command
+
+
+class SatelliteAtAgent:
+    """The satellite-side agent that re-intercepts UE commands (S5)."""
+
+    def __init__(self):
+        self.legacy_fallbacks = 0
+        self.replicas_received: List[bytes] = []
+
+    def handle(self, line: str) -> Optional[bytes]:
+        """Process one command line; returns the replica when present.
+
+        Non-SpaceCore commands (or blobs that fail to parse) return
+        None and count as legacy fallbacks.
+        """
+        try:
+            command = parse(line)
+            _, replica = extract_session_request(command)
+        except AtCommandError:
+            self.legacy_fallbacks += 1
+            return None
+        self.replicas_received.append(replica)
+        return replica

@@ -1,0 +1,225 @@
+"""GTP-U user-plane tunneling with the SpaceCore extension header.
+
+S5 (Implementation): "the SpaceCore proxy ... piggybacks UE states in
+the FutureExtensionField (FEF) in the 5G GTP-U tunnel header for
+packets to the next-hop UPFs in the same session".
+
+This module implements the GTP-U v1 wire format (TS 29.281) to the
+fidelity the system needs: the fixed 8-byte header, TEID addressing,
+sequence numbers, and the extension-header chain through which the
+state replica rides.  Encode/decode round-trips byte-exactly, and the
+UPF chain helper shows a replica crossing UPFs inside the tunnel.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: GTP-U version 1, protocol type GTP (TS 29.281 5.1).
+_GTP_VERSION = 1
+
+#: Message type for encapsulated user data (G-PDU).
+GPDU_MESSAGE_TYPE = 0xFF
+
+#: Extension header type we use for the SpaceCore state replica.  Real
+#: deployments would take a type from the reserved-for-future-use
+#: space; the paper calls this the FutureExtensionField.
+SPACECORE_FEF_TYPE = 0xC0
+
+#: No-more-extension-headers marker.
+_NO_MORE_EXTENSIONS = 0x00
+
+#: Largest content one extension header can carry: the unit-length
+#: octet caps the header at 255 * 4 = 1020 bytes, minus the length
+#: byte, the 2-byte content-length prefix, and the next-type byte.
+MAX_EXTENSION_CONTENT = 255 * 4 - 4
+
+
+class GtpError(Exception):
+    """Malformed GTP-U data."""
+
+
+@dataclass(frozen=True)
+class ExtensionHeader:
+    """One GTP-U extension header.
+
+    The on-wire content length must pad the whole header (length byte +
+    content + next-type byte) to a multiple of 4 octets; the codec
+    handles padding transparently.
+    """
+
+    ext_type: int
+    content: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ext_type <= 0xFF:
+            raise ValueError("extension type is one octet")
+        if len(self.content) > MAX_EXTENSION_CONTENT:
+            raise ValueError("extension content exceeds the one-octet "
+                             "unit-length format; fragment it")
+
+
+@dataclass(frozen=True)
+class GtpPacket:
+    """A decoded GTP-U packet."""
+
+    teid: int
+    payload: bytes
+    sequence: Optional[int] = None
+    extensions: Tuple[ExtensionHeader, ...] = ()
+
+    def spacecore_replica(self) -> Optional[bytes]:
+        """The piggybacked state replica, if any (the paper's FEF).
+
+        Replicas larger than one extension header are fragmented over
+        several FEF headers; fragments are reassembled in chain order.
+        """
+        fragments = [ext.content for ext in self.extensions
+                     if ext.ext_type == SPACECORE_FEF_TYPE]
+        if not fragments:
+            return None
+        return b"".join(fragments)
+
+
+def _encode_extension(ext: ExtensionHeader, next_type: int) -> bytes:
+    # Total length (in 4-octet units) covers the length byte, a 2-byte
+    # content-length prefix (so padding never corrupts binary
+    # replicas), the content, padding, and the next-type byte.
+    raw = struct.pack("!H", len(ext.content)) + ext.content
+    total = 2 + len(raw)  # length byte + raw + next byte
+    padded_units = (total + 3) // 4
+    padding = padded_units * 4 - total
+    return (bytes([padded_units]) + raw + b"\x00" * padding
+            + bytes([next_type]))
+
+
+def encode(packet: GtpPacket) -> bytes:
+    """Serialize a GTP-U packet (TS 29.281 framing)."""
+    if not 0 <= packet.teid < 2**32:
+        raise ValueError("TEID is 32 bits")
+    has_seq = packet.sequence is not None
+    has_ext = bool(packet.extensions)
+    flags = (_GTP_VERSION << 5) | (1 << 4)  # version, PT=GTP
+    if has_seq:
+        flags |= 0x02
+    if has_ext:
+        flags |= 0x04
+
+    body = b""
+    if has_seq or has_ext:
+        # The optional 4-octet field block is present when any of
+        # S/E/PN is set.
+        seq = packet.sequence or 0
+        first_ext = (packet.extensions[0].ext_type if has_ext
+                     else _NO_MORE_EXTENSIONS)
+        body += struct.pack("!HBB", seq & 0xFFFF, 0, first_ext)
+        for i, ext in enumerate(packet.extensions):
+            next_type = (packet.extensions[i + 1].ext_type
+                         if i + 1 < len(packet.extensions)
+                         else _NO_MORE_EXTENSIONS)
+            body += _encode_extension(ext, next_type)
+    body += packet.payload
+
+    header = struct.pack("!BBHI", flags, GPDU_MESSAGE_TYPE, len(body),
+                         packet.teid)
+    return header + body
+
+
+def decode(data: bytes) -> GtpPacket:
+    """Parse a GTP-U packet; raises :class:`GtpError` when malformed."""
+    if len(data) < 8:
+        raise GtpError("truncated GTP-U header")
+    flags, msg_type, length, teid = struct.unpack("!BBHI", data[:8])
+    if (flags >> 5) != _GTP_VERSION:
+        raise GtpError(f"unsupported GTP version {flags >> 5}")
+    if msg_type != GPDU_MESSAGE_TYPE:
+        raise GtpError(f"unexpected message type {msg_type:#x}")
+    body = data[8:]
+    if len(body) != length:
+        raise GtpError(f"length field {length} != body {len(body)}")
+
+    sequence: Optional[int] = None
+    extensions: List[ExtensionHeader] = []
+    offset = 0
+    if flags & 0x07:
+        if len(body) < 4:
+            raise GtpError("missing optional field block")
+        seq, _, next_type = struct.unpack("!HBB", body[:4])
+        if flags & 0x02:
+            sequence = seq
+        offset = 4
+        while next_type != _NO_MORE_EXTENSIONS:
+            if offset >= len(body):
+                raise GtpError("extension chain runs past the packet")
+            units = body[offset]
+            if units == 0:
+                raise GtpError("zero-length extension header")
+            total = units * 4
+            if offset + total > len(body):
+                raise GtpError("truncated extension header")
+            raw = body[offset + 1: offset + total - 1]
+            if len(raw) < 2:
+                raise GtpError("extension too short for length prefix")
+            (content_len,) = struct.unpack("!H", raw[:2])
+            if content_len > len(raw) - 2:
+                raise GtpError("extension content length out of range")
+            ext_type = next_type
+            next_type = body[offset + total - 1]
+            extensions.append(ExtensionHeader(
+                ext_type, raw[2:2 + content_len]))
+            offset += total
+    return GtpPacket(teid=teid, payload=body[offset:],
+                     sequence=sequence, extensions=tuple(extensions))
+
+
+def encapsulate_with_replica(teid: int, user_payload: bytes,
+                             replica_bytes: bytes,
+                             sequence: Optional[int] = None) -> bytes:
+    """Build the paper's piggybacked data packet: user data + FEF.
+
+    Replicas exceeding one extension header (ABE blobs run ~1.1 kB)
+    are fragmented over a chain of FEF headers.
+    """
+    fragments = [replica_bytes[i:i + MAX_EXTENSION_CONTENT]
+                 for i in range(0, len(replica_bytes),
+                                MAX_EXTENSION_CONTENT)] or [b""]
+    packet = GtpPacket(
+        teid=teid,
+        payload=user_payload,
+        sequence=sequence,
+        extensions=tuple(ExtensionHeader(SPACECORE_FEF_TYPE, frag)
+                         for frag in fragments),
+    )
+    return encode(packet)
+
+
+class TunnelChain:
+    """A chain of UPF hops sharing one session's tunnel.
+
+    Models the S5 data path: each hop decodes the packet, learns the
+    piggybacked replica (so the next-hop UPF can enforce QoS without a
+    control-plane exchange), and forwards.
+    """
+
+    def __init__(self, hop_names: List[str]):
+        if not hop_names:
+            raise ValueError("a tunnel chain needs at least one hop")
+        self.hop_names = list(hop_names)
+        self.replicas_seen: dict = {name: None for name in hop_names}
+
+    def forward(self, wire: bytes) -> bytes:
+        """Pass a packet through every hop; returns the egress bytes."""
+        for name in self.hop_names:
+            packet = decode(wire)
+            replica = packet.spacecore_replica()
+            if replica is not None:
+                self.replicas_seen[name] = replica
+            wire = encode(packet)  # re-serialise (byte-identical)
+        return wire
+
+    def hops_with_replica(self) -> List[str]:
+        """Hop names that saw a piggybacked replica."""
+        return [name for name, replica in self.replicas_seen.items()
+                if replica is not None]

@@ -1,0 +1,106 @@
+"""NAS security context: integrity and ciphering (TS 33.501 subset).
+
+After AKA, the security-mode-command exchange activates a NAS security
+context keyed by K_AMF.  Every subsequent NAS message is ciphered and
+integrity-protected with a monotonically increasing COUNT, which is
+what makes replay and tampering detectable.  The SpaceCore relevance:
+this context is part of S5, it travels in the handover context
+transfer (the Fig. 19 leak vector), and its keys are exactly what a
+hijacked stateful satellite coughs up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class NasSecurityError(Exception):
+    """Integrity failure or replay."""
+
+
+def _derive(key: bytes, label: bytes) -> bytes:
+    return hmac.new(key, b"nas|" + label, hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, count: int, length: int) -> bytes:
+    out = bytearray()
+    block = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(
+            key + count.to_bytes(4, "big")
+            + block.to_bytes(4, "big")).digest())
+        block += 1
+    return bytes(out[:length])
+
+
+@dataclass
+class NasSecurityContext:
+    """One direction-aware NAS security association.
+
+    Both ends construct it from K_AMF after the security-mode
+    exchange; uplink and downlink keep independent COUNTs.
+    """
+
+    k_nas_int: bytes
+    k_nas_enc: bytes
+    uplink_count: int = 0
+    downlink_count: int = 0
+
+    @classmethod
+    def from_k_amf(cls, k_amf: bytes) -> "NasSecurityContext":
+        return cls(k_nas_int=_derive(k_amf, b"int"),
+                   k_nas_enc=_derive(k_amf, b"enc"))
+
+    # -- sender side -----------------------------------------------------------
+
+    def protect(self, plaintext: bytes, uplink: bool = True) -> bytes:
+        """Cipher + MAC one NAS message; bumps the COUNT."""
+        count = self.uplink_count if uplink else self.downlink_count
+        ciphered = bytes(a ^ b for a, b in zip(
+            plaintext, _keystream(self.k_nas_enc, count,
+                                  len(plaintext))))
+        mac = hmac.new(self.k_nas_int,
+                       count.to_bytes(4, "big") + ciphered,
+                       hashlib.sha256).digest()[:8]
+        if uplink:
+            self.uplink_count += 1
+        else:
+            self.downlink_count += 1
+        return count.to_bytes(4, "big") + mac + ciphered
+
+    # -- receiver side -----------------------------------------------------------
+
+    def unprotect(self, protected: bytes, uplink: bool = True) -> bytes:
+        """Verify + decipher; enforces strictly increasing COUNTs."""
+        if len(protected) < 12:
+            raise NasSecurityError("protected NAS message too short")
+        count = int.from_bytes(protected[:4], "big")
+        mac = protected[4:12]
+        ciphered = protected[12:]
+        expected = hmac.new(self.k_nas_int,
+                            protected[:4] + ciphered,
+                            hashlib.sha256).digest()[:8]
+        if not hmac.compare_digest(mac, expected):
+            raise NasSecurityError("NAS integrity check failed")
+        floor = self.uplink_count if uplink else self.downlink_count
+        if count < floor:
+            raise NasSecurityError(
+                f"replayed NAS COUNT {count} (expected >= {floor})")
+        plaintext = bytes(a ^ b for a, b in zip(
+            ciphered, _keystream(self.k_nas_enc, count,
+                                 len(ciphered))))
+        if uplink:
+            self.uplink_count = count + 1
+        else:
+            self.downlink_count = count + 1
+        return plaintext
+
+
+def establish_pair(k_amf: bytes) -> Tuple[NasSecurityContext,
+                                          NasSecurityContext]:
+    """UE-side and AMF-side contexts from the same K_AMF."""
+    return (NasSecurityContext.from_k_amf(k_amf),
+            NasSecurityContext.from_k_amf(k_amf))

@@ -1,0 +1,14 @@
+"""5G network functions: AMF, SMF, UPF, AUSF, UDM, PCF."""
+
+from .amf import Amf, UeContext
+from .ausf import Ausf
+from .pcf import Pcf, THROTTLED_KBPS
+from .smf import SessionContext, Smf
+from .udm import SubscriberProfile, Udm
+from .upf import ForwardingEntry, Upf
+
+__all__ = [
+    "Amf", "UeContext", "Ausf", "Pcf", "THROTTLED_KBPS",
+    "SessionContext", "Smf", "SubscriberProfile", "Udm",
+    "ForwardingEntry", "Upf",
+]

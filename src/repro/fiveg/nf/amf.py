@@ -1,0 +1,137 @@
+"""AMF: access and mobility management function.
+
+Owns UE registration contexts: identity, current tracking area, the
+NAS security context, and paging.  In the legacy architecture the AMF
+also anchors the logical tracking area -- which is exactly what breaks
+when the AMF rides a satellite (S3.2, "moving service areas").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aka import derive_k_amf
+from ..identifiers import Guti, GutiAllocator, Plmn, Supi
+from .ausf import Ausf
+
+
+@dataclass
+class UeContext:
+    """The AMF's per-UE registration state."""
+
+    supi: Supi
+    guti: Guti
+    tracking_area: Tuple[int, int]
+    k_amf: bytes
+    registered: bool = True
+    connected: bool = False
+    session_ids: List[int] = field(default_factory=list)
+
+
+class Amf:
+    """Mobility anchor and NAS terminator."""
+
+    def __init__(self, name: str, plmn: Plmn, ausf: Ausf,
+                 amf_id: int = 1, rng=None):
+        self.name = name
+        self.plmn = plmn
+        self.ausf = ausf
+        self._guti_allocator = GutiAllocator(plmn, amf_id, rng)
+        self._contexts: Dict[str, UeContext] = {}
+        self._by_tmsi: Dict[int, str] = {}
+        self.registrations = 0
+        self.mobility_updates = 0
+        self.paging_requests = 0
+
+    # -- registration (C1) ---------------------------------------------------
+
+    def register(self, supi: Supi, tracking_area: Tuple[int, int],
+                 k_seaf: bytes) -> UeContext:
+        """Create (or refresh) a UE context after successful AKA."""
+        guti = self._guti_allocator.allocate()
+        context = UeContext(
+            supi=supi,
+            guti=guti,
+            tracking_area=tracking_area,
+            k_amf=derive_k_amf(k_seaf, str(supi)),
+        )
+        old = self._contexts.get(str(supi))
+        if old is not None:
+            self._by_tmsi.pop(old.guti.tmsi, None)
+            self._guti_allocator.release(old.guti)
+        self._contexts[str(supi)] = context
+        self._by_tmsi[guti.tmsi] = str(supi)
+        self.registrations += 1
+        return context
+
+    def deregister(self, supi: Supi) -> None:
+        """Drop a UE's registration context and recycle its GUTI."""
+        context = self._contexts.pop(str(supi), None)
+        if context is not None:
+            self._by_tmsi.pop(context.guti.tmsi, None)
+            self._guti_allocator.release(context.guti)
+
+    def context(self, supi: Supi) -> Optional[UeContext]:
+        """The registration context for a SUPI, if registered."""
+        return self._contexts.get(str(supi))
+
+    def context_by_tmsi(self, tmsi: int) -> Optional[UeContext]:
+        """Resolve a 5G-TMSI to its registration context."""
+        supi_str = self._by_tmsi.get(tmsi)
+        return self._contexts.get(supi_str) if supi_str else None
+
+    @property
+    def registered_count(self) -> int:
+        return len(self._contexts)
+
+    # -- mobility (C3/C4) ----------------------------------------------------------
+
+    def update_tracking_area(self, supi: Supi,
+                             tracking_area: Tuple[int, int]) -> UeContext:
+        """C4: mobility registration update into this AMF's area."""
+        context = self._require(supi)
+        context.tracking_area = tracking_area
+        self.mobility_updates += 1
+        return context
+
+    def transfer_context_from(self, other: "Amf", supi: Supi) -> UeContext:
+        """P16: pull the UE context from the old AMF, which deletes it."""
+        source = other.context(supi)
+        if source is None:
+            raise KeyError(f"{other.name} has no context for {supi}")
+        migrated = UeContext(
+            supi=source.supi,
+            guti=self._guti_allocator.allocate(),
+            tracking_area=source.tracking_area,
+            k_amf=source.k_amf,
+            session_ids=list(source.session_ids),
+        )
+        other.deregister(supi)
+        self._contexts[str(supi)] = migrated
+        self._by_tmsi[migrated.guti.tmsi] = str(supi)
+        self.mobility_updates += 1
+        return migrated
+
+    # -- connection management -------------------------------------------------------
+
+    def connect(self, supi: Supi) -> None:
+        """Mark the UE's signaling connection active."""
+        self._require(supi).connected = True
+
+    def release(self, supi: Supi) -> None:
+        """Mark the UE's signaling connection idle."""
+        context = self._contexts.get(str(supi))
+        if context is not None:
+            context.connected = False
+
+    def page(self, supi: Supi) -> bool:
+        """Downlink-data paging trigger; True when the UE is known."""
+        self.paging_requests += 1
+        return str(supi) in self._contexts
+
+    def _require(self, supi: Supi) -> UeContext:
+        context = self._contexts.get(str(supi))
+        if context is None:
+            raise KeyError(f"no registered context for {supi}")
+        return context

@@ -1,0 +1,57 @@
+"""PCF: policy and charging function.
+
+Turns subscription profiles into per-session QoS and billing states
+(S3, S4) and applies dynamic policy -- the paper's running example is
+"unlimited data speed for the first 15GB, throttled to 128Kbps
+afterward" (S4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..state import BillingState, QosState
+from .udm import SubscriberProfile
+
+#: Bitrate applied once the quota is exhausted (the paper's example).
+THROTTLED_KBPS = 128
+
+
+class Pcf:
+    """Policy decisions for sessions."""
+
+    def __init__(self):
+        self.decisions = 0
+
+    def establish(self, profile: SubscriberProfile
+                  ) -> Tuple[QosState, BillingState]:
+        """Initial policy for a new registration/session (P4)."""
+        self.decisions += 1
+        qos = QosState(
+            five_qi=profile.five_qi,
+            priority=profile.priority,
+            max_bitrate_up_kbps=profile.max_bitrate_up_kbps,
+            max_bitrate_down_kbps=profile.max_bitrate_down_kbps,
+            forwarding_rules=("default-route",),
+        )
+        billing = BillingState(quota_mb=profile.quota_mb)
+        return qos, billing
+
+    def reevaluate(self, qos: QosState,
+                   billing: BillingState) -> Tuple[QosState, BillingState]:
+        """Dynamic policy on a usage report (the 15GB/128Kbps example).
+
+        Only the home runs this in SpaceCore -- satellites report usage
+        up, the PCF decides, and the home pushes updated (signed)
+        states back down (S4.4).
+        """
+        self.decisions += 1
+        if billing.throttled and qos.max_bitrate_down_kbps > THROTTLED_KBPS:
+            import dataclasses
+            qos = dataclasses.replace(
+                qos,
+                max_bitrate_up_kbps=THROTTLED_KBPS,
+                max_bitrate_down_kbps=THROTTLED_KBPS,
+            )
+        return qos, billing

@@ -1,0 +1,159 @@
+"""RRC connection state machine (TS 38.331 subset).
+
+The paper's workload model hinges on RRC behaviour: "inactive
+connections will be released after 10-15 s for power saving [82]"
+(S3.1), which is why sessions re-establish every ~107 s and why the
+active fraction of UEs at any instant is small.  This module gives the
+UE a faithful three-state machine:
+
+* IDLE       -- camped, no context at the RAN; paging reaches the UE;
+* CONNECTED  -- active radio bearer; data flows;
+* INACTIVE   -- RAN keeps a suspended context (5G's RRC_INACTIVE),
+               resume is cheaper than a full setup.
+
+Transitions are driven by explicit events (data arrival, inactivity
+timer, release, radio-link failure) so emulations can replay exactly
+the lifecycle the datasets show (Trace 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from ..constants import RRC_INACTIVITY_TIMEOUT_S
+
+
+class RrcState(Enum):
+    """RrcState."""
+    IDLE = "rrc-idle"
+    CONNECTED = "rrc-connected"
+    INACTIVE = "rrc-inactive"
+
+
+class RrcEvent(Enum):
+    """RrcEvent."""
+    SETUP = "setup"                  # UE-originated connection
+    PAGE = "page"                    # network-originated (downlink)
+    INACTIVITY_EXPIRED = "inactivity"
+    SUSPEND = "suspend"              # move to RRC_INACTIVE
+    RESUME = "resume"
+    RELEASE = "release"
+    RADIO_LINK_FAILURE = "rlf"
+
+
+class RrcError(Exception):
+    """An event that is illegal in the current state."""
+
+
+@dataclass
+class RrcTransition:
+    """One recorded state transition."""
+
+    time_s: float
+    event: RrcEvent
+    from_state: RrcState
+    to_state: RrcState
+
+
+#: Legal transitions: (state, event) -> new state.
+_TRANSITIONS = {
+    (RrcState.IDLE, RrcEvent.SETUP): RrcState.CONNECTED,
+    (RrcState.IDLE, RrcEvent.PAGE): RrcState.CONNECTED,
+    (RrcState.CONNECTED, RrcEvent.INACTIVITY_EXPIRED): RrcState.IDLE,
+    (RrcState.CONNECTED, RrcEvent.SUSPEND): RrcState.INACTIVE,
+    (RrcState.CONNECTED, RrcEvent.RELEASE): RrcState.IDLE,
+    (RrcState.CONNECTED, RrcEvent.RADIO_LINK_FAILURE): RrcState.IDLE,
+    (RrcState.INACTIVE, RrcEvent.RESUME): RrcState.CONNECTED,
+    (RrcState.INACTIVE, RrcEvent.PAGE): RrcState.CONNECTED,
+    (RrcState.INACTIVE, RrcEvent.RELEASE): RrcState.IDLE,
+    (RrcState.INACTIVE, RrcEvent.RADIO_LINK_FAILURE): RrcState.IDLE,
+}
+
+
+class RrcConnection:
+    """Per-UE RRC state with an inactivity timer.
+
+    The timer is *polled*: callers advance time with :meth:`tick` (or
+    let an event carry its timestamp) and the machine applies the
+    inactivity release when due -- this keeps the class independent of
+    any particular event loop.
+    """
+
+    def __init__(self,
+                 inactivity_timeout_s: float = RRC_INACTIVITY_TIMEOUT_S):
+        if inactivity_timeout_s <= 0:
+            raise ValueError("inactivity timeout must be positive")
+        self.state = RrcState.IDLE
+        self.inactivity_timeout_s = inactivity_timeout_s
+        self.last_activity_s = 0.0
+        self.history: List[RrcTransition] = []
+        self.setups = 0
+        self.resumes = 0
+
+    # -- events -------------------------------------------------------------------
+
+    def handle(self, event: RrcEvent, time_s: float) -> RrcState:
+        """Apply one event; raises :class:`RrcError` when illegal."""
+        key = (self.state, event)
+        if key not in _TRANSITIONS:
+            raise RrcError(f"{event.value} is illegal in "
+                           f"{self.state.value}")
+        new_state = _TRANSITIONS[key]
+        self.history.append(RrcTransition(time_s, event, self.state,
+                                          new_state))
+        self.state = new_state
+        if event is RrcEvent.SETUP or event is RrcEvent.PAGE:
+            self.setups += 1
+        if event is RrcEvent.RESUME:
+            self.resumes += 1
+        if new_state is RrcState.CONNECTED:
+            self.last_activity_s = time_s
+        return new_state
+
+    def data_activity(self, time_s: float) -> None:
+        """Uplink/downlink traffic refreshes the inactivity timer."""
+        if self.state is not RrcState.CONNECTED:
+            raise RrcError("data activity requires RRC connected")
+        self.last_activity_s = time_s
+
+    def tick(self, time_s: float) -> Optional[RrcTransition]:
+        """Advance the clock; fires the inactivity release when due.
+
+        Returns the transition if one fired, else None.
+        """
+        if (self.state is RrcState.CONNECTED
+                and time_s - self.last_activity_s
+                >= self.inactivity_timeout_s):
+            self.handle(RrcEvent.INACTIVITY_EXPIRED, time_s)
+            return self.history[-1]
+        return None
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self.state is RrcState.CONNECTED
+
+    @property
+    def reachable_by_paging(self) -> bool:
+        """IDLE and INACTIVE UEs listen to paging occasions."""
+        return self.state in (RrcState.IDLE, RrcState.INACTIVE)
+
+    def connected_time_fraction(self, horizon_s: float) -> float:
+        """Fraction of the horizon spent CONNECTED (from history)."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        connected_since: Optional[float] = None
+        total = 0.0
+        for transition in self.history:
+            if transition.to_state is RrcState.CONNECTED:
+                connected_since = transition.time_s
+            elif (transition.from_state is RrcState.CONNECTED
+                    and connected_since is not None):
+                total += transition.time_s - connected_since
+                connected_since = None
+        if connected_since is not None:
+            total += horizon_s - connected_since
+        return min(1.0, total / horizon_s)

@@ -1,0 +1,216 @@
+"""Service-based interface (SBI): how 5G core NFs actually talk.
+
+TS 23.501 organises the core as producer/consumer services
+(Nudm_UEAuthentication, Nsmf_PDUSession, ...) over a service mesh.
+This module implements that layer in-process: NFs register service
+operations, consumers invoke them through the mesh, and the mesh
+records per-service invocation counts and latencies -- which is how a
+real deployment would observe exactly the signaling loads the paper's
+figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+#: The standard service operations the procedures use.
+KNOWN_SERVICES = (
+    "Nudm_UEAuthentication_Get",
+    "Nudm_SDM_Get",
+    "Nudm_UECM_Registration",
+    "Nausf_UEAuthentication_Authenticate",
+    "Nsmf_PDUSession_CreateSMContext",
+    "Nsmf_PDUSession_UpdateSMContext",
+    "Nsmf_PDUSession_ReleaseSMContext",
+    "Npcf_SMPolicyControl_Create",
+    "Npcf_AMPolicyControl_Create",
+    "Namf_Communication_UEContextTransfer",
+)
+
+
+class SbiError(Exception):
+    """Service invocation failure."""
+
+
+@dataclass(frozen=True)
+class SbiRequest:
+    """One service invocation."""
+
+    service: str
+    consumer: str
+    payload: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class SbiResponse:
+    """The producer's answer."""
+
+    status: int
+    body: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[SbiRequest], SbiResponse]
+
+
+@dataclass
+class ServiceRecord:
+    producer: str
+    handler: Handler
+    invocations: int = 0
+    failures: int = 0
+    total_latency_s: float = 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.invocations:
+            return 0.0
+        return self.total_latency_s / self.invocations
+
+
+class ServiceMesh:
+    """In-process SBI dispatch with observability.
+
+    ``transport_latency`` optionally charges a per-call delay (e.g.
+    the satellite-to-ground RTT when producer and consumer straddle
+    the boundary); callers pass a function of (consumer, producer).
+    """
+
+    def __init__(self, transport_latency: Optional[
+            Callable[[str, str], float]] = None):
+        self._services: Dict[str, ServiceRecord] = {}
+        self._transport_latency = transport_latency
+        self.simulated_latency_s = 0.0
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, service: str, producer: str,
+                 handler: Handler) -> None:
+        """Bind a service operation to its producer NF."""
+        if service in self._services:
+            raise SbiError(f"{service} already registered by "
+                           f"{self._services[service].producer}")
+        self._services[service] = ServiceRecord(producer, handler)
+
+    def deregister(self, service: str) -> None:
+        """Remove a service binding (idempotent)."""
+        self._services.pop(service, None)
+
+    def is_registered(self, service: str) -> bool:
+        """Whether a producer currently serves this operation."""
+        return service in self._services
+
+    def producer_of(self, service: str) -> str:
+        """The NF producing a service; SbiError when unknown."""
+        record = self._services.get(service)
+        if record is None:
+            raise SbiError(f"no producer for {service}")
+        return record.producer
+
+    # -- invocation --------------------------------------------------------------
+
+    def invoke(self, service: str, consumer: str,
+               **payload: Any) -> SbiResponse:
+        """Call a service; raises :class:`SbiError` when unknown."""
+        record = self._services.get(service)
+        if record is None:
+            raise SbiError(f"service {service} not registered")
+        if self._transport_latency is not None:
+            self.simulated_latency_s += self._transport_latency(
+                consumer, record.producer)
+        request = SbiRequest(service, consumer, dict(payload))
+        start = time.perf_counter()
+        try:
+            response = record.handler(request)
+        except Exception as exc:  # producer bug -> 500
+            record.failures += 1
+            record.invocations += 1
+            record.total_latency_s += time.perf_counter() - start
+            return SbiResponse(500, {"error": str(exc)})
+        record.invocations += 1
+        record.total_latency_s += time.perf_counter() - start
+        if not response.ok:
+            record.failures += 1
+        return response
+
+    # -- observability ---------------------------------------------------------------
+
+    def invocation_counts(self) -> Dict[str, int]:
+        """Per-service invocation totals (observability)."""
+        return {name: record.invocations
+                for name, record in self._services.items()}
+
+    def total_invocations(self) -> int:
+        """All invocations across every registered service."""
+        return sum(r.invocations for r in self._services.values())
+
+    def failure_counts(self) -> Dict[str, int]:
+        """Per-service failure totals, omitting clean services."""
+        return {name: record.failures
+                for name, record in self._services.items()
+                if record.failures}
+
+
+def build_core_mesh(core, transport_latency: Optional[
+        Callable[[str, str], float]] = None) -> ServiceMesh:
+    """Wire a :class:`~repro.fiveg.core.CoreNetwork`'s NFs to a mesh.
+
+    Exposes the subset of operations the C1/C2 procedures consume, each
+    handler delegating to the real NF object.
+    """
+    from .identifiers import Supi
+
+    mesh = ServiceMesh(transport_latency)
+
+    def _supi(request: SbiRequest) -> Supi:
+        raw = request.payload["supi"]
+        if isinstance(raw, Supi):
+            return raw
+        raise SbiError("supi payload must be a Supi instance")
+
+    def auth_get(request: SbiRequest) -> SbiResponse:
+        vector = core.udm.authentication_vector(
+            _supi(request), request.payload["serving_network"])
+        return SbiResponse(200, {"vector": vector})
+
+    def sdm_get(request: SbiRequest) -> SbiResponse:
+        profile = core.udm.profile(_supi(request))
+        return SbiResponse(200, {"profile": profile})
+
+    def ausf_authenticate(request: SbiRequest) -> SbiResponse:
+        rand, autn = core.ausf.start_authentication(
+            _supi(request), request.payload["serving_network"])
+        return SbiResponse(200, {"rand": rand, "autn": autn})
+
+    def policy_create(request: SbiRequest) -> SbiResponse:
+        qos, billing = core.pcf.establish(
+            core.udm.profile(_supi(request)))
+        return SbiResponse(201, {"qos": qos, "billing": billing})
+
+    def sm_create(request: SbiRequest) -> SbiResponse:
+        qos, billing = core.pcf.establish(
+            core.udm.profile(_supi(request)))
+        session = core.smf.create_session(
+            _supi(request), request.payload["home_cell"],
+            request.payload["ue_cell"], qos, billing,
+            prefer_anchor=request.payload.get("prefer_anchor", True))
+        return SbiResponse(201, {"session": session})
+
+    def sm_release(request: SbiRequest) -> SbiResponse:
+        core.smf.release_session(request.payload["session_id"])
+        return SbiResponse(204)
+
+    mesh.register("Nudm_UEAuthentication_Get", "udm", auth_get)
+    mesh.register("Nudm_SDM_Get", "udm", sdm_get)
+    mesh.register("Nausf_UEAuthentication_Authenticate", "ausf",
+                  ausf_authenticate)
+    mesh.register("Npcf_SMPolicyControl_Create", "pcf", policy_create)
+    mesh.register("Nsmf_PDUSession_CreateSMContext", "smf", sm_create)
+    mesh.register("Nsmf_PDUSession_ReleaseSMContext", "smf",
+                  sm_release)
+    return mesh

@@ -1,0 +1,149 @@
+"""Wire codec for signaling messages.
+
+Gives the Fig. 9/16 message catalog a concrete byte format so
+emulations can move real frames across links (and so the size fields
+in the catalog mean something testable)::
+
+      0      1      2      3      4          6          8
+      +------+------+------+------+----------+----------+----
+      | ver  | kind | src  | dst  | type id  | length   | payload
+      +------+------+------+------+----------+----------+----
+
+Message type ids are assigned deterministically from the catalog, so
+both ends of a link agree without negotiation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .messages import (
+    LEGACY_FLOWS,
+    MessageTemplate,
+    ProcedureKind,
+    Role,
+    SPACECORE_FLOWS,
+)
+
+_WIRE_VERSION = 1
+
+_ROLE_IDS: Dict[Role, int] = {role: i for i, role in enumerate(Role)}
+_ROLES_BY_ID: Dict[int, Role] = {i: role for role, i in _ROLE_IDS.items()}
+
+_KIND_IDS: Dict[ProcedureKind, int] = {
+    kind: i for i, kind in enumerate(ProcedureKind)}
+_KINDS_BY_ID: Dict[int, ProcedureKind] = {
+    i: kind for kind, i in _KIND_IDS.items()}
+
+
+def _build_type_registry() -> Tuple[Dict[str, int], Dict[int, str]]:
+    """Deterministic name <-> id mapping across both flow catalogs."""
+    names: List[str] = []
+    seen = set()
+    for flows in (LEGACY_FLOWS, SPACECORE_FLOWS):
+        for kind in ProcedureKind:
+            for template in flows[kind]:
+                if template.name not in seen:
+                    seen.add(template.name)
+                    names.append(template.name)
+    by_name = {name: i for i, name in enumerate(sorted(names))}
+    by_id = {i: name for name, i in by_name.items()}
+    return by_name, by_id
+
+
+MESSAGE_TYPE_IDS, MESSAGE_NAMES_BY_ID = _build_type_registry()
+
+
+class WireError(Exception):
+    """Malformed signaling frame."""
+
+
+@dataclass(frozen=True)
+class SignalingFrame:
+    """One decoded signaling frame."""
+
+    procedure: ProcedureKind
+    message_name: str
+    src: Role
+    dst: Role
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 + len(self.payload)
+
+
+def encode_frame(frame: SignalingFrame) -> bytes:
+    """Serialize a signaling frame."""
+    try:
+        type_id = MESSAGE_TYPE_IDS[frame.message_name]
+    except KeyError:
+        raise WireError(
+            f"{frame.message_name!r} is not in the message catalog"
+        ) from None
+    header = struct.pack(
+        "!BBBBHH",
+        _WIRE_VERSION,
+        _KIND_IDS[frame.procedure],
+        _ROLE_IDS[frame.src],
+        _ROLE_IDS[frame.dst],
+        type_id,
+        len(frame.payload),
+    )
+    return header + frame.payload
+
+
+def decode_frame(data: bytes) -> SignalingFrame:
+    """Parse a signaling frame; raises :class:`WireError` if invalid."""
+    if len(data) < 8:
+        raise WireError("frame shorter than the fixed header")
+    version, kind_id, src_id, dst_id, type_id, length = struct.unpack(
+        "!BBBBHH", data[:8])
+    if version != _WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    if kind_id not in _KINDS_BY_ID:
+        raise WireError(f"unknown procedure id {kind_id}")
+    if src_id not in _ROLES_BY_ID or dst_id not in _ROLES_BY_ID:
+        raise WireError("unknown role id")
+    if type_id not in MESSAGE_NAMES_BY_ID:
+        raise WireError(f"unknown message type {type_id}")
+    payload = data[8:]
+    if len(payload) != length:
+        raise WireError(f"length field {length} != payload "
+                        f"{len(payload)}")
+    return SignalingFrame(
+        procedure=_KINDS_BY_ID[kind_id],
+        message_name=MESSAGE_NAMES_BY_ID[type_id],
+        src=_ROLES_BY_ID[src_id],
+        dst=_ROLES_BY_ID[dst_id],
+        payload=payload,
+    )
+
+
+def frame_from_template(template: MessageTemplate,
+                        kind: ProcedureKind,
+                        payload: Optional[bytes] = None
+                        ) -> SignalingFrame:
+    """Materialise a catalog template as a sendable frame.
+
+    Without an explicit payload, the frame is padded to the template's
+    catalog size so emulated link loads match the size accounting.
+    """
+    if payload is None:
+        body = max(0, template.size_bytes - 8)
+        payload = b"\x00" * body
+    return SignalingFrame(
+        procedure=kind,
+        message_name=template.name,
+        src=template.src,
+        dst=template.dst,
+        payload=payload,
+    )
+
+
+def encode_flow(kind: ProcedureKind,
+                flow: List[MessageTemplate]) -> List[bytes]:
+    """Serialize a whole procedure's message sequence."""
+    return [encode_frame(frame_from_template(t, kind)) for t in flow]

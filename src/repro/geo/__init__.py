@@ -1,0 +1,34 @@
+"""Geospatial state simplification: cells, addressing, population.
+
+Implements S4.1 of the paper: the geospatial cell grid decoupled from
+satellites, the 128-bit geospatial UE address, and the World-Bank-like
+population model that drives per-satellite load.
+"""
+
+from .addressing import AddressAllocator, GeospatialAddress
+from .cells import CellStatistics, GeospatialCellGrid
+from .mobility import (
+    TracePoint,
+    commuter_trace,
+    count_cell_crossings,
+    crossing_rate,
+    random_waypoint_trace,
+    transoceanic_trace,
+)
+from .population import PopulationGrid, Region, WORLD_BANK_REGIONS
+
+__all__ = [
+    "AddressAllocator",
+    "GeospatialAddress",
+    "CellStatistics",
+    "GeospatialCellGrid",
+    "TracePoint",
+    "commuter_trace",
+    "count_cell_crossings",
+    "crossing_rate",
+    "random_waypoint_trace",
+    "transoceanic_trace",
+    "PopulationGrid",
+    "Region",
+    "WORLD_BANK_REGIONS",
+]

@@ -1,0 +1,173 @@
+"""UE mobility trace generation.
+
+S4.3 claims UE-driven mobility registrations are rare because
+geospatial cells are enormous (Table 3).  These generators create
+realistic terrestrial movement so tests and experiments can measure
+actual crossing rates instead of trusting the closed form:
+
+* random-waypoint -- the classic mobility model (walkers, vehicles);
+* commuter -- oscillates between two fixed points (home/work);
+* transoceanic -- a great-circle cruise (ships, aircraft), the only
+  user class that crosses cells at a meaningful rate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..constants import EARTH_RADIUS_KM
+from .cells import GeospatialCellGrid
+from .population import _destination_point
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One timestamped position (radians)."""
+
+    t_s: float
+    lat: float
+    lon: float
+
+
+def random_waypoint_trace(start_lat: float, start_lon: float,
+                          speed_km_s: float, duration_s: float,
+                          step_s: float = 60.0,
+                          max_leg_km: float = 20.0,
+                          rng: Optional[random.Random] = None
+                          ) -> List[TracePoint]:
+    """Random-waypoint movement around a start position."""
+    if speed_km_s < 0 or duration_s <= 0 or step_s <= 0:
+        raise ValueError("speed/duration/step must be positive")
+    rng = rng or random.Random(0)
+    points = [TracePoint(0.0, start_lat, start_lon)]
+    lat, lon = start_lat, start_lon
+    t = 0.0
+    target: Optional[Tuple[float, float]] = None
+    while t < duration_s:
+        t += step_s
+        if target is None:
+            bearing = rng.uniform(0.0, 2.0 * math.pi)
+            leg = rng.uniform(0.1, max_leg_km) / EARTH_RADIUS_KM
+            target = _destination_point(lat, lon, leg, bearing)
+        # Move toward the target at the configured speed.
+        step_angle = speed_km_s * step_s / EARTH_RADIUS_KM
+        remaining = _angle_between(lat, lon, *target)
+        if remaining <= step_angle:
+            lat, lon = target
+            target = None
+        else:
+            bearing = _initial_bearing(lat, lon, *target)
+            lat, lon = _destination_point(lat, lon, step_angle, bearing)
+        points.append(TracePoint(t, lat, lon))
+    return points
+
+
+def commuter_trace(home_lat: float, home_lon: float,
+                   work_lat: float, work_lon: float,
+                   speed_km_s: float, duration_s: float,
+                   step_s: float = 60.0) -> List[TracePoint]:
+    """Oscillate between two points (daily commute)."""
+    points = [TracePoint(0.0, home_lat, home_lon)]
+    lat, lon = home_lat, home_lon
+    heading_to_work = True
+    t = 0.0
+    while t < duration_s:
+        t += step_s
+        target = (work_lat, work_lon) if heading_to_work else \
+            (home_lat, home_lon)
+        step_angle = speed_km_s * step_s / EARTH_RADIUS_KM
+        remaining = _angle_between(lat, lon, *target)
+        if remaining <= step_angle:
+            lat, lon = target
+            heading_to_work = not heading_to_work
+        else:
+            bearing = _initial_bearing(lat, lon, *target)
+            lat, lon = _destination_point(lat, lon, step_angle, bearing)
+        points.append(TracePoint(t, lat, lon))
+    return points
+
+
+def transoceanic_trace(start_lat: float, start_lon: float,
+                       end_lat: float, end_lon: float,
+                       speed_km_s: float,
+                       step_s: float = 60.0) -> List[TracePoint]:
+    """A great-circle crossing at constant speed (aircraft/ship)."""
+    total_angle = _angle_between(start_lat, start_lon, end_lat, end_lon)
+    total_time = total_angle * EARTH_RADIUS_KM / speed_km_s
+    points = []
+    t = 0.0
+    while t <= total_time:
+        frac = t / total_time if total_time else 1.0
+        lat, lon = _interpolate_great_circle(
+            start_lat, start_lon, end_lat, end_lon, frac)
+        points.append(TracePoint(t, lat, lon))
+        t += step_s
+    points.append(TracePoint(total_time, end_lat, end_lon))
+    return points
+
+
+def count_cell_crossings(grid: GeospatialCellGrid,
+                         trace: List[TracePoint]) -> int:
+    """Geospatial-cell boundary crossings along a trace.
+
+    This is the number of home-routed mobility registrations a
+    SpaceCore UE following the trace would trigger (S4.3).
+    """
+    crossings = 0
+    previous = None
+    for point in trace:
+        cell = grid.cell_of(point.lat, point.lon)
+        if previous is not None and cell != previous:
+            crossings += 1
+        previous = cell
+    return crossings
+
+
+def crossing_rate(grid: GeospatialCellGrid,
+                  trace: List[TracePoint]) -> float:
+    """Crossings per second over the trace."""
+    if len(trace) < 2:
+        return 0.0
+    horizon = trace[-1].t_s - trace[0].t_s
+    if horizon <= 0:
+        return 0.0
+    return count_cell_crossings(grid, trace) / horizon
+
+
+# ---------------------------------------------------------------------------
+# Spherical helpers
+# ---------------------------------------------------------------------------
+
+def _angle_between(lat1: float, lon1: float, lat2: float,
+                   lon2: float) -> float:
+    from ..orbits.coordinates import central_angle
+    return central_angle(lat1, lon1, lat2, lon2)
+
+
+def _initial_bearing(lat1: float, lon1: float, lat2: float,
+                     lon2: float) -> float:
+    dlon = lon2 - lon1
+    y = math.sin(dlon) * math.cos(lat2)
+    x = (math.cos(lat1) * math.sin(lat2)
+         - math.sin(lat1) * math.cos(lat2) * math.cos(dlon))
+    return math.atan2(y, x)
+
+
+def _interpolate_great_circle(lat1: float, lon1: float, lat2: float,
+                              lon2: float, fraction: float
+                              ) -> Tuple[float, float]:
+    angle = _angle_between(lat1, lon1, lat2, lon2)
+    if angle == 0.0:
+        return lat1, lon1
+    sin_angle = math.sin(angle)
+    a = math.sin((1.0 - fraction) * angle) / sin_angle
+    b = math.sin(fraction * angle) / sin_angle
+    x = (a * math.cos(lat1) * math.cos(lon1)
+         + b * math.cos(lat2) * math.cos(lon2))
+    y = (a * math.cos(lat1) * math.sin(lon1)
+         + b * math.cos(lat2) * math.sin(lon2))
+    z = a * math.sin(lat1) + b * math.sin(lat2)
+    return math.atan2(z, math.hypot(x, y)), math.atan2(y, x)

@@ -1,0 +1,23 @@
+"""Satellite hardware CPU and queueing-latency models (Fig. 7/8/17)."""
+
+from .model import (
+    CpuBreakdown,
+    HardwarePlatform,
+    PLATFORMS,
+    RASPBERRY_PI_4,
+    XEON_WORKSTATION,
+    cpu_breakdown,
+)
+from .queueing import (
+    LatencyEstimate,
+    SATURATED_LATENCY_S,
+    mm1_wait_s,
+    procedure_latency,
+)
+
+__all__ = [
+    "CpuBreakdown", "HardwarePlatform", "PLATFORMS", "RASPBERRY_PI_4",
+    "XEON_WORKSTATION", "cpu_breakdown",
+    "LatencyEstimate", "SATURATED_LATENCY_S", "mm1_wait_s",
+    "procedure_latency",
+]

@@ -1,0 +1,89 @@
+"""Coverage and revisit statistics per latitude.
+
+Supporting analysis for the S2.2/S3.2 claims: how continuously a shell
+covers a given latitude, how many satellites are simultaneously
+visible, and how long the gaps between passes are.  These quantities
+explain the constellation-dependent differences in the evaluation
+(Iridium's thin coverage vs Starlink's dense multi-coverage).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .constellation import Constellation
+from .coverage import visible_satellites
+from .propagator import IdealPropagator
+
+
+@dataclass(frozen=True)
+class CoverageStatistics:
+    """Sampled coverage behaviour at one latitude."""
+
+    lat_deg: float
+    coverage_fraction: float     # fraction of time >=1 satellite
+    mean_visible: float          # average simultaneously visible sats
+    max_gap_s: float             # longest outage observed
+
+    @property
+    def continuous(self) -> bool:
+        return self.coverage_fraction >= 0.999
+
+
+def coverage_statistics(constellation: Constellation, lat_deg: float,
+                        lon_deg: float = 0.0,
+                        duration_s: float = 5700.0,
+                        step_s: float = 30.0,
+                        min_elevation_deg: Optional[float] = None
+                        ) -> CoverageStatistics:
+    """Sample visibility at a fixed point over ``duration_s``."""
+    propagator = IdealPropagator(constellation)
+    lat = math.radians(lat_deg)
+    lon = math.radians(lon_deg)
+    covered_samples = 0
+    visible_total = 0
+    samples = 0
+    gap = 0.0
+    max_gap = 0.0
+    t = 0.0
+    while t <= duration_s:
+        count = len(visible_satellites(propagator, t, lat, lon,
+                                       min_elevation_deg))
+        samples += 1
+        visible_total += count
+        if count > 0:
+            covered_samples += 1
+            gap = 0.0
+        else:
+            gap += step_s
+            max_gap = max(max_gap, gap)
+        t += step_s
+    return CoverageStatistics(
+        lat_deg=lat_deg,
+        coverage_fraction=covered_samples / samples,
+        mean_visible=visible_total / samples,
+        max_gap_s=max_gap,
+    )
+
+
+def coverage_by_latitude(constellation: Constellation,
+                         latitudes_deg: Tuple[float, ...] = (
+                             0.0, 25.0, 45.0, 53.0, 70.0),
+                         duration_s: float = 3000.0
+                         ) -> List[CoverageStatistics]:
+    """Coverage profile across latitudes (the shell's service band)."""
+    return [coverage_statistics(constellation, lat,
+                                duration_s=duration_s)
+            for lat in latitudes_deg]
+
+
+def densest_latitude_deg(constellation: Constellation) -> float:
+    """Where ground tracks bunch up: just below the inclination.
+
+    Walker shells spend disproportionate time near their turn-point
+    latitude, which is why mid-latitude users see the most satellites
+    (and why the paper's Starlink cells pinch there).
+    """
+    return max(0.0, constellation.inclination_deg - 3.0)

@@ -1,0 +1,9 @@
+"""Discrete-event simulation: engine, live emulation, packet forwarding."""
+
+from .emulation import EmulationStats, NeighborhoodEmulation
+from .engine import EventHandle, PeriodicHandle, Simulator
+from .packets import PacketRecord, PacketSimulation
+
+__all__ = ["EmulationStats", "NeighborhoodEmulation", "EventHandle",
+           "PeriodicHandle", "Simulator", "PacketRecord",
+           "PacketSimulation"]

@@ -1,0 +1,155 @@
+"""A small deterministic discrete-event simulation engine.
+
+Drives the packet-level and signaling-level experiments.  Events are
+ordered by (time, sequence) so same-time events fire in scheduling
+order, which keeps every run bit-reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled event; cancellable until it fires."""
+
+    __slots__ = ("callback", "args", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable, args: Tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class PeriodicHandle:
+    """Cancellation handle for a periodic event chain."""
+
+    __slots__ = ("current",)
+
+    def __init__(self):
+        self.current: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        """Stop the periodic chain (no-op when never armed)."""
+        if self.current is not None:
+            self.current.cancel()
+
+
+class Simulator:
+    """Event loop with a simulated clock.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: List[_QueuedEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable,
+                 *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable,
+                    *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before now={self._now}")
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._queue,
+                       _QueuedEvent(time, next(self._seq), handle))
+        return handle
+
+    def schedule_periodic(self, interval: float, callback: Callable,
+                          *args: Any, jitter: Callable = None,
+                          first_delay: float = None) -> "PeriodicHandle":
+        """Re-arm ``callback`` every ``interval`` (+ optional jitter()).
+
+        ``jitter`` is a zero-argument callable added to each interval,
+        letting callers model Poisson-ish processes.  Cancel the
+        returned handle to stop the chain.
+        """
+        if interval <= 0:
+            raise ValueError("periodic interval must be positive")
+        chain = PeriodicHandle()
+
+        def fire():
+            callback(*args)
+            delay = interval + (jitter() if jitter else 0.0)
+            chain.current = self.schedule(max(1e-9, delay), fire)
+
+        delay0 = first_delay if first_delay is not None else interval
+        chain.current = self.schedule(delay0, fire)
+        return chain
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            entry.handle.callback(*entry.handle.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` passes, or the budget ends."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                return
+            head = self._queue[0]
+            if head.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            if not self.step():
+                break
+            processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.handle.cancelled)

@@ -1,0 +1,138 @@
+"""Packet-level discrete-event forwarding over the constellation.
+
+The routing layer computes paths and sums propagation delays
+statically; this module *plays them out* on the event engine: each
+packet is an event chain hopping satellite to satellite, with per-hop
+propagation plus serialisation, per-satellite FIFO egress queues, and
+optional loss.  Its purpose is twofold:
+
+* cross-validate the static delay arithmetic (an unloaded network must
+  reproduce ``RouteResult.delay_s`` exactly up to serialisation), and
+* expose queueing effects the static model cannot see (bursts into a
+  single ISL).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.grid import GridTopology
+from ..topology.routing import GeospatialRouter
+from .engine import Simulator
+
+
+@dataclass
+class PacketRecord:
+    """Fate of one simulated packet."""
+
+    packet_id: int
+    src_sat: int
+    sent_at_s: float
+    delivered_at_s: Optional[float] = None
+    dropped: bool = False
+    hops: int = 0
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end latency, or None while in flight / dropped."""
+        if self.delivered_at_s is None:
+            return None
+        return self.delivered_at_s - self.sent_at_s
+
+
+class PacketSimulation:
+    """Event-driven packet forwarding along Algorithm 1 paths.
+
+    Each satellite has one egress queue per neighbour; a packet
+    occupies the link for its serialisation time and arrives after the
+    propagation delay.  Paths are pinned at send time (the topology
+    barely moves over packet timescales).
+    """
+
+    def __init__(self, topology: GridTopology,
+                 link_rate_mbps: float = 1000.0,
+                 loss_probability: float = 0.0,
+                 seed: int = 0):
+        if link_rate_mbps <= 0:
+            raise ValueError("link rate must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.topology = topology
+        self.router = GeospatialRouter(topology)
+        self.sim = Simulator()
+        self.link_rate_mbps = link_rate_mbps
+        self.loss_probability = loss_probability
+        self._rng = random.Random(seed)
+        #: When each directed link (a, b) next becomes free.
+        self._link_free_at: Dict[Tuple[int, int], float] = {}
+        self.records: List[PacketRecord] = []
+        self._next_id = 0
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, src_sat: int, dest_lat: float, dest_lon: float,
+             size_bytes: int = 1500, at_s: float = 0.0,
+             route_t: float = 0.0) -> PacketRecord:
+        """Inject one packet; its delivery unfolds on the event queue."""
+        route = self.router.route(src_sat, dest_lat, dest_lon, route_t)
+        record = PacketRecord(self._next_id, src_sat, at_s)
+        self._next_id += 1
+        self.records.append(record)
+        if not route.delivered:
+            record.dropped = True
+            return record
+        self.sim.schedule_at(max(at_s, self.sim.now), self._hop,
+                             record, route.path, 0, size_bytes, route_t)
+        return record
+
+    def _serialization_s(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / (self.link_rate_mbps * 1e6)
+
+    def _hop(self, record: PacketRecord, path: List[int], index: int,
+             size_bytes: int, route_t: float) -> None:
+        """Process the packet's arrival at ``path[index]``."""
+        if index == len(path) - 1:
+            record.delivered_at_s = self.sim.now
+            record.hops = len(path) - 1
+            return
+        current, nxt = path[index], path[index + 1]
+        if not self.topology.isl_up(current, nxt):
+            record.dropped = True
+            return
+        if (self.loss_probability
+                and self._rng.random() < self.loss_probability):
+            record.dropped = True
+            return
+        link = (current, nxt)
+        serialization = self._serialization_s(size_bytes)
+        start = max(self.sim.now, self._link_free_at.get(link,
+                                                         self.sim.now))
+        self._link_free_at[link] = start + serialization
+        propagation = self.topology.isl_delay_s(current, nxt, route_t)
+        arrival = start + serialization + propagation
+        self.sim.schedule_at(arrival, self._hop, record, path,
+                             index + 1, size_bytes, route_t)
+
+    # -- running & results ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue (deliver everything in flight)."""
+        self.sim.run(until=until)
+
+    def delivered(self) -> List[PacketRecord]:
+        """All delivered packets."""
+        return [r for r in self.records if r.delivered_at_s is not None]
+
+    def drop_count(self) -> int:
+        """Packets lost to failed links or random loss."""
+        return sum(1 for r in self.records if r.dropped)
+
+    def latency_stats(self) -> Tuple[float, float, float]:
+        """(min, mean, max) delivered latency in seconds."""
+        latencies = [r.latency_s for r in self.delivered()]
+        if not latencies:
+            raise RuntimeError("no packets delivered yet")
+        return (min(latencies), sum(latencies) / len(latencies),
+                max(latencies))

@@ -1,0 +1,114 @@
+"""Contact plans: gateway/cell visibility schedules over time.
+
+Operations around a LEO shell revolve around *contacts*: which
+satellite serves a gateway (or covers a geospatial cell) during which
+interval.  Gateways hand over between satellites continuously; the
+contact plan is what a ground-segment scheduler (or the paper's
+Fig. 11 "moving service areas" intuition) works from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..geo.cells import GeospatialCellGrid
+from ..orbits.coverage import serving_satellite
+from ..orbits.groundstations import GroundStation
+from .grid import GridTopology
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One continuous service interval by one satellite."""
+
+    satellite: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def gateway_contact_plan(topology: GridTopology,
+                         station: GroundStation,
+                         t_start: float, t_end: float,
+                         step_s: float = 15.0) -> List[Contact]:
+    """Access-satellite schedule for one gateway.
+
+    Samples the access satellite every ``step_s`` and merges runs;
+    gaps (no coverage) simply do not appear as contacts.
+    """
+    if t_end <= t_start or step_s <= 0:
+        raise ValueError("need a positive window and step")
+    contacts: List[Contact] = []
+    current = -2
+    run_start = t_start
+    t = t_start
+    while t <= t_end:
+        sat = topology.station_access_satellite(station, t)
+        if sat != current:
+            if current >= 0:
+                contacts.append(Contact(current, run_start, t))
+            current = sat
+            run_start = t
+        t += step_s
+    if current >= 0:
+        contacts.append(Contact(current, run_start, min(t, t_end)))
+    return contacts
+
+
+def cell_coverage_plan(topology: GridTopology,
+                       grid: GeospatialCellGrid,
+                       cell: Tuple[int, int],
+                       t_start: float, t_end: float,
+                       step_s: float = 15.0) -> List[Contact]:
+    """Which satellite covers a geospatial cell's centre, over time.
+
+    This is the schedule SpaceCore paging implicitly uses: the cell is
+    fixed, the covering satellite rotates through it (Fig. 11 turned
+    inside out -- the *area* is stable, the server changes).
+    """
+    lat, lon = grid.cell_center(cell)
+    contacts: List[Contact] = []
+    current = -2
+    run_start = t_start
+    t = t_start
+    while t <= t_end:
+        sat = serving_satellite(topology.propagator, t, lat, lon)
+        if sat >= 0 and not topology.is_up(sat):
+            sat = -1
+        if sat != current:
+            if current >= 0:
+                contacts.append(Contact(current, run_start, t))
+            current = sat
+            run_start = t
+        t += step_s
+    if current >= 0:
+        contacts.append(Contact(current, run_start, min(t, t_end)))
+    return contacts
+
+
+@dataclass(frozen=True)
+class ContactPlanStats:
+    """Aggregates over one plan."""
+
+    contact_count: int
+    mean_duration_s: float
+    coverage_fraction: float
+    distinct_satellites: int
+
+
+def summarize(contacts: List[Contact], t_start: float,
+              t_end: float) -> ContactPlanStats:
+    """Aggregate a contact plan into counts, durations, and coverage."""
+    if not contacts:
+        return ContactPlanStats(0, 0.0, 0.0, 0)
+    covered = sum(c.duration_s for c in contacts)
+    return ContactPlanStats(
+        contact_count=len(contacts),
+        mean_duration_s=covered / len(contacts),
+        coverage_fraction=covered / (t_end - t_start),
+        distinct_satellites=len({c.satellite for c in contacts}),
+    )

@@ -1,0 +1,192 @@
+"""The +Grid satellite network topology (S3, S6).
+
+Every satellite keeps four inter-satellite links: two to its intra-orbit
+neighbours and two to the same slot of the adjacent planes -- the
+"standard grid satellite network topology [6, 79]" the paper assumes.
+Ground stations attach to whatever satellite is overhead at a given
+time (a ground-space link).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..constants import SPEED_OF_LIGHT_KM_S
+from ..orbits.constellation import Constellation
+from ..orbits.coordinates import distance3, geodetic_to_ecef
+from ..orbits.coverage import coverage_half_angle
+from ..orbits.groundstations import GroundStation
+from ..orbits.propagator import IdealPropagator
+from ..constants import EARTH_RADIUS_KM
+from .links import propagation_delay_s
+
+
+class GridTopology:
+    """Time-parameterised +Grid topology over one constellation.
+
+    Node naming: satellites are integers (flat index); ground stations
+    are their :class:`GroundStation` names.
+    """
+
+    def __init__(self, propagator: IdealPropagator,
+                 ground_stations: Sequence[GroundStation] = ()):
+        self.propagator = propagator
+        self.constellation: Constellation = propagator.constellation
+        self.ground_stations = list(ground_stations)
+        self._failed_sats: set = set()
+        self._failed_isls: set = set()
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail_satellite(self, sat: int) -> None:
+        """Remove a satellite (radiation/debris failure, S3.3)."""
+        self._failed_sats.add(sat)
+
+    def recover_satellite(self, sat: int) -> None:
+        """Bring a failed satellite back into the topology."""
+        self._failed_sats.discard(sat)
+
+    def fail_isl(self, sat_a: int, sat_b: int) -> None:
+        """Take one ISL down (laser misalignment, S3.3)."""
+        self._failed_isls.add(frozenset((sat_a, sat_b)))
+
+    def recover_isl(self, sat_a: int, sat_b: int) -> None:
+        """Restore a failed inter-satellite link."""
+        self._failed_isls.discard(frozenset((sat_a, sat_b)))
+
+    def is_up(self, sat: int) -> bool:
+        """Whether a satellite is alive."""
+        return sat not in self._failed_sats
+
+    def isl_up(self, sat_a: int, sat_b: int) -> bool:
+        """Whether the link between two satellites is usable."""
+        return (self.is_up(sat_a) and self.is_up(sat_b)
+                and frozenset((sat_a, sat_b)) not in self._failed_isls)
+
+    # -- neighbourhood ---------------------------------------------------------
+
+    def isl_neighbors(self, sat: int) -> List[int]:
+        """The up-to-four live grid neighbours of ``sat``."""
+        c = self.constellation
+        plane, slot = c.plane_slot(sat)
+        up, down = c.intra_plane_neighbors(plane, slot)
+        left, right = c.inter_plane_neighbors(plane, slot)
+        return [n for n in (up, down, left, right) if self.isl_up(sat, n)]
+
+    def directional_neighbors(self, sat: int) -> Dict[str, int]:
+        """Neighbours keyed by the Algorithm 1 direction names."""
+        c = self.constellation
+        plane, slot = c.plane_slot(sat)
+        up, down = c.intra_plane_neighbors(plane, slot)
+        left, right = c.inter_plane_neighbors(plane, slot)
+        return {"up": up, "down": down, "left": left, "right": right}
+
+    # -- geometry ---------------------------------------------------------------
+
+    def sat_position(self, sat: int, t: float) -> Tuple[float, float, float]:
+        """Earth-fixed Cartesian position of a satellite at t (km)."""
+        plane, slot = self.constellation.plane_slot(sat)
+        return self.propagator.state(plane, slot, t).position_ecef()
+
+    def isl_distance_km(self, sat_a: int, sat_b: int, t: float) -> float:
+        """Geometric length of the link between two satellites (km)."""
+        return distance3(self.sat_position(sat_a, t),
+                         self.sat_position(sat_b, t))
+
+    def isl_feasible(self, sat_a: int, sat_b: int, t: float,
+                     atmosphere_km: float = 80.0) -> bool:
+        """Geometric feasibility of a laser link at time t.
+
+        The chord must clear the Earth plus an atmospheric margin;
+        grid neighbours in LEO shells always do, but arbitrary pairs
+        (e.g. candidate shortcut links) may not.
+        """
+        from .links import line_of_sight_clear
+        return line_of_sight_clear(
+            self.sat_position(sat_a, t), self.sat_position(sat_b, t),
+            EARTH_RADIUS_KM + atmosphere_km)
+
+    def isl_delay_s(self, sat_a: int, sat_b: int, t: float) -> float:
+        """One-way propagation delay over an ISL (s)."""
+        return propagation_delay_s(self.isl_distance_km(sat_a, sat_b, t))
+
+    def gsl_delay_s(self, sat: int, station: GroundStation,
+                    t: float) -> float:
+        """One-way propagation delay of a ground-space link (s)."""
+        sat_pos = self.sat_position(sat, t)
+        gs_pos = geodetic_to_ecef(station.lat, station.lon, EARTH_RADIUS_KM)
+        return propagation_delay_s(distance3(sat_pos, gs_pos))
+
+    def uplink_delay_s(self, sat: int, ue_lat: float, ue_lon: float,
+                       t: float) -> float:
+        """UE-to-satellite radio propagation delay."""
+        sat_pos = self.sat_position(sat, t)
+        ue_pos = geodetic_to_ecef(ue_lat, ue_lon, EARTH_RADIUS_KM)
+        return propagation_delay_s(distance3(sat_pos, ue_pos))
+
+    # -- ground-station attachment -----------------------------------------------
+
+    def station_access_satellite(self, station: GroundStation,
+                                 t: float) -> int:
+        """The satellite currently serving a gateway (closest overhead).
+
+        Returns -1 when no live satellite covers the gateway.
+        """
+        c = self.constellation
+        theta = coverage_half_angle(c.altitude_km, c.min_elevation_deg)
+        subs = self.propagator.subpoints(t)
+        dlat = subs[:, 0] - station.lat
+        dlon = subs[:, 1] - station.lon
+        h = (np.sin(dlat / 2.0) ** 2
+             + np.cos(subs[:, 0]) * math.cos(station.lat)
+             * np.sin(dlon / 2.0) ** 2)
+        ang = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+        order = np.argsort(ang)
+        for idx in order:
+            sat = int(idx)
+            if ang[idx] > theta:
+                break
+            if self.is_up(sat):
+                return sat
+        return -1
+
+    # -- graph snapshot ------------------------------------------------------------
+
+    def snapshot_graph(self, t: float,
+                       include_ground: bool = True) -> nx.Graph:
+        """A weighted (propagation-delay) graph of the live topology at t.
+
+        Used by the Dijkstra baseline router and by reachability
+        analyses under failure injection.
+        """
+        graph = nx.Graph()
+        c = self.constellation
+        positions = self.propagator.positions_ecef(t)
+        for sat in range(c.total_satellites):
+            if self.is_up(sat):
+                graph.add_node(sat)
+        for sat in range(c.total_satellites):
+            if not self.is_up(sat):
+                continue
+            plane, slot = c.plane_slot(sat)
+            up, _ = c.intra_plane_neighbors(plane, slot)
+            _, right = c.inter_plane_neighbors(plane, slot)
+            for nbr in (up, right):
+                if self.isl_up(sat, nbr):
+                    dist = float(np.linalg.norm(positions[sat]
+                                                - positions[nbr]))
+                    graph.add_edge(sat, nbr,
+                                   weight=dist / SPEED_OF_LIGHT_KM_S,
+                                   distance_km=dist)
+        if include_ground:
+            for gs in self.ground_stations:
+                access = self.station_access_satellite(gs, t)
+                if access >= 0:
+                    delay = self.gsl_delay_s(access, gs, t)
+                    graph.add_edge(gs.name, access, weight=delay,
+                                   distance_km=delay * SPEED_OF_LIGHT_KM_S)
+        return graph

@@ -1,0 +1,230 @@
+"""Routing: Algorithm 1 stateless geospatial relaying + Dijkstra baseline.
+
+Algorithm 1 (S4.2) forwards a packet using only (a) the satellite's own
+runtime (alpha, gamma) coordinates and (b) the destination's geospatial
+cell embedded in its address -- no routing tables, no per-flow state.
+Each hop moves one grid step in whichever dimension (inter-orbit alpha
+or intra-orbit gamma) has the larger remaining hop count, choosing the
+shorter way around the ring (the ``m/2 * d-alpha`` conditions in the
+paper's listing are exactly this ring-shortest test, which
+``wrap_signed`` performs).
+
+The Dijkstra router is the stateful baseline used to measure path
+stretch; it needs a global topology snapshot per time step -- the kind
+of state SpaceCore wants satellites not to carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from ..orbits.coordinates import (
+    InclinedCoordinateSystem,
+    central_angle,
+    wrap_signed,
+)
+from ..orbits.coverage import coverage_half_angle
+from .grid import GridTopology
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one packet through the constellation."""
+
+    delivered: bool
+    path: List[int] = field(default_factory=list)
+    delay_s: float = 0.0
+    distance_km: float = 0.0
+    degraded: bool = False  # delivered below the nominal elevation mask
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class GeospatialRouter:
+    """Stateless geospatial relaying (Algorithm 1).
+
+    Every decision uses only local knowledge: the satellite's runtime
+    coordinates (which self-calibrate orbit perturbations -- the J4
+    experiment of Fig. 18b) and the destination coordinates derived
+    from the packet's geospatial address.
+    """
+
+    def __init__(self, topology: GridTopology, max_hops: int = 256):
+        self.topology = topology
+        c = topology.constellation
+        self.system = InclinedCoordinateSystem(c.inclination_rad)
+        self.coverage_angle = coverage_half_angle(c.altitude_km,
+                                                  c.min_elevation_deg)
+        #: Positive slack accepts delivery slightly outside the nominal
+        #: footprint (serving at a lower elevation angle) instead of
+        #: oscillating between two near-covering satellites.
+        self.degraded_slack = 1.6
+        self.max_hops = max_hops
+
+    # -- per-hop decision (the Algorithm 1 listing) ------------------------------
+
+    def covers(self, sat: int, dest_lat: float, dest_lon: float,
+               t: float) -> bool:
+        """Line 1-2 of Algorithm 1: does this satellite cover D?"""
+        plane, slot = self.topology.constellation.plane_slot(sat)
+        sat_lat, sat_lon = self.topology.propagator.state(
+            plane, slot, t).subpoint()
+        return (central_angle(sat_lat, sat_lon, dest_lat, dest_lon)
+                <= self.coverage_angle)
+
+    def _hop_offsets(self, sat: int, dest_lat: float, dest_lon: float,
+                     t: float) -> Tuple[float, float]:
+        """Remaining (alpha, gamma) offsets in units of grid hops.
+
+        Considers both torus representations of the destination and
+        keeps the closer one, since a satellite on its descending arc
+        covers the same ground as an ascending satellite of a mirrored
+        plane.
+        """
+        c = self.topology.constellation
+        plane, slot = c.plane_slot(sat)
+        state = self.topology.propagator.state(plane, slot, t)
+        alpha_s = state.raan_ecef
+        gamma_s = state.arg_latitude
+        best: Optional[Tuple[float, float]] = None
+        best_metric = math.inf
+        for alpha_d, gamma_d in self.system.both_representations(
+                dest_lat, dest_lon):
+            da = wrap_signed(alpha_d - alpha_s) / c.delta_raan
+            dg = wrap_signed(gamma_d - gamma_s) / c.delta_phase
+            metric = abs(da) + abs(dg)
+            if metric < best_metric:
+                best_metric = metric
+                best = (da, dg)
+        assert best is not None
+        return best
+
+    def next_hop(self, sat: int, dest_lat: float, dest_lon: float,
+                 t: float) -> Optional[int]:
+        """Lines 3-10 of Algorithm 1: pick the forwarding direction.
+
+        Returns the neighbour's flat index, or None when this satellite
+        is already the best grid position (deliver here).
+        """
+        da, dg = self._hop_offsets(sat, dest_lat, dest_lon, t)
+        if abs(da) < 0.5 and abs(dg) < 0.5:
+            return None
+        neighbors = self.topology.directional_neighbors(sat)
+        if abs(da) > abs(dg):
+            direction = "right" if da > 0 else "left"
+        else:
+            direction = "up" if dg > 0 else "down"
+        return neighbors[direction]
+
+    # -- end-to-end ---------------------------------------------------------------
+
+    def route(self, src_sat: int, dest_lat: float, dest_lon: float,
+              t: float) -> RouteResult:
+        """Forward hop by hop from ``src_sat`` to the destination's cell.
+
+        Failed satellites/ISLs deflect the packet: when the preferred
+        direction is dead, the packet takes the live neighbour that
+        minimises the remaining hop metric (and never revisits a node,
+        bounding detours).
+        """
+        topo = self.topology
+        path = [src_sat]
+        visited = {src_sat}
+        delay = 0.0
+        distance = 0.0
+        current = src_sat
+        for _ in range(self.max_hops):
+            if self.covers(current, dest_lat, dest_lon, t):
+                return RouteResult(True, path, delay, distance)
+            preferred = self.next_hop(current, dest_lat, dest_lon, t)
+            if preferred is None:
+                # Closest grid position, but the footprint misses D
+                # (low elevation); deliver degraded rather than loop.
+                if self._nearly_covers(current, dest_lat, dest_lon, t):
+                    return RouteResult(True, path, delay, distance,
+                                       degraded=True)
+                preferred = self._best_live_neighbor(current, dest_lat,
+                                                     dest_lon, t, visited)
+            if (preferred is None or preferred in visited
+                    or not topo.isl_up(current, preferred)):
+                preferred = self._best_live_neighbor(current, dest_lat,
+                                                     dest_lon, t, visited)
+            if preferred is None:
+                return RouteResult(False, path, delay, distance)
+            hop_km = topo.isl_distance_km(current, preferred, t)
+            delay += topo.isl_delay_s(current, preferred, t)
+            distance += hop_km
+            current = preferred
+            path.append(current)
+            visited.add(current)
+        return RouteResult(False, path, delay, distance)
+
+    def _nearly_covers(self, sat: int, dest_lat: float, dest_lon: float,
+                       t: float) -> bool:
+        plane, slot = self.topology.constellation.plane_slot(sat)
+        sat_lat, sat_lon = self.topology.propagator.state(
+            plane, slot, t).subpoint()
+        return (central_angle(sat_lat, sat_lon, dest_lat, dest_lon)
+                <= self.coverage_angle * self.degraded_slack)
+
+    def _best_live_neighbor(self, sat: int, dest_lat: float,
+                            dest_lon: float, t: float,
+                            visited: set) -> Optional[int]:
+        """Greedy deflection: live unvisited neighbour nearest the goal."""
+        best = None
+        best_metric = math.inf
+        for nbr in self.topology.isl_neighbors(sat):
+            if nbr in visited:
+                continue
+            da, dg = self._hop_offsets(nbr, dest_lat, dest_lon, t)
+            metric = abs(da) + abs(dg)
+            if metric < best_metric:
+                best_metric = metric
+                best = nbr
+        return best
+
+
+class DijkstraRouter:
+    """Stateful shortest-path baseline over a topology snapshot."""
+
+    def __init__(self, topology: GridTopology):
+        self.topology = topology
+        self._graph_cache: Optional[Tuple[float, nx.Graph]] = None
+
+    def _graph(self, t: float) -> nx.Graph:
+        if self._graph_cache is None or self._graph_cache[0] != t:
+            self._graph_cache = (t, self.topology.snapshot_graph(
+                t, include_ground=False))
+        return self._graph_cache[1]
+
+    def route(self, src_sat: int, dst_sat: int, t: float) -> RouteResult:
+        """Shortest path between two satellites on the snapshot graph."""
+        graph = self._graph(t)
+        if src_sat not in graph or dst_sat not in graph:
+            return RouteResult(False)
+        try:
+            path = nx.shortest_path(graph, src_sat, dst_sat,
+                                    weight="weight")
+        except nx.NetworkXNoPath:
+            return RouteResult(False)
+        delay = 0.0
+        distance = 0.0
+        for a, b in zip(path, path[1:]):
+            delay += graph[a][b]["weight"]
+            distance += graph[a][b]["distance_km"]
+        return RouteResult(True, list(path), delay, distance)
+
+
+def path_stretch(geo: RouteResult, baseline: RouteResult) -> float:
+    """Delay stretch of the stateless route over the stateful optimum."""
+    if not (geo.delivered and baseline.delivered):
+        raise ValueError("both routes must be delivered to compare")
+    if baseline.delay_s == 0:
+        return 1.0
+    return geo.delay_s / baseline.delay_s

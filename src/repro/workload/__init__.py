@@ -1,0 +1,38 @@
+"""Workload generation: arrival processes and Table 2 trace synthesis."""
+
+from .arrivals import (
+    SessionWorkload,
+    WorkloadEvent,
+    poisson_arrivals,
+    satellite_workload,
+)
+from .replay import (
+    CpuSample,
+    TimelineEvent,
+    replay_cpu_series,
+    timeline_duration_s,
+    trace1_timeline,
+)
+from .traces import (
+    REGISTRATION_DELAY_S,
+    SATELLITE_SOURCES,
+    TABLE2_COUNTS,
+    TERRESTRIAL_SOURCES,
+    TraceMessage,
+    layer_mix,
+    registration_delay_samples,
+    synthesize,
+    table2_summary,
+    total_messages,
+)
+
+__all__ = [
+    "SessionWorkload", "WorkloadEvent", "poisson_arrivals",
+    "satellite_workload",
+    "CpuSample", "TimelineEvent", "replay_cpu_series",
+    "timeline_duration_s", "trace1_timeline",
+    "REGISTRATION_DELAY_S", "SATELLITE_SOURCES", "TABLE2_COUNTS",
+    "TERRESTRIAL_SOURCES", "TraceMessage", "layer_mix",
+    "registration_delay_samples", "synthesize", "table2_summary",
+    "total_messages",
+]

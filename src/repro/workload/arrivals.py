@@ -1,0 +1,121 @@
+"""Arrival processes driving the signaling workload (S3.1-S3.2).
+
+Sessions arrive per UE every 106.9 s on average [44]; radio
+connections are released after 10-15 s of inactivity; LEO coverage
+passes last ~165.8 s in Starlink.  The generators here produce the
+event streams the emulation replays and the aggregate rates the
+analytic experiments consume.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..constants import (
+    RRC_INACTIVITY_TIMEOUT_S,
+    SESSION_INTERARRIVAL_S,
+)
+from ..fiveg.messages import ProcedureKind
+from ..orbits.constellation import Constellation
+from ..orbits.coverage import mean_dwell_time_s
+
+
+def poisson_arrivals(rate_per_s: float, duration_s: float,
+                     rng: random.Random) -> Iterator[float]:
+    """Event times of a Poisson process over ``[0, duration_s)``."""
+    if rate_per_s < 0:
+        raise ValueError("rate cannot be negative")
+    if rate_per_s == 0:
+        return
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= duration_s:
+            return
+        yield t
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One procedure trigger in the replay stream."""
+
+    time_s: float
+    kind: ProcedureKind
+    ue_index: int
+
+
+class SessionWorkload:
+    """Per-UE session and mobility event stream for one satellite."""
+
+    def __init__(self, num_ues: int, dwell_s: float,
+                 mobility_registrations: bool,
+                 session_interval_s: float = SESSION_INTERARRIVAL_S,
+                 seed: int = 0):
+        if num_ues < 0:
+            raise ValueError("need a non-negative UE count")
+        self.num_ues = num_ues
+        self.dwell_s = dwell_s
+        self.mobility_registrations = mobility_registrations
+        self.session_interval_s = session_interval_s
+        self.seed = seed
+
+    def events(self, duration_s: float) -> List[WorkloadEvent]:
+        """All procedure triggers in the window, time-ordered."""
+        rng = random.Random(self.seed)
+        events: List[WorkloadEvent] = []
+        session_rate = self.num_ues / self.session_interval_s
+        for t in poisson_arrivals(session_rate, duration_s, rng):
+            events.append(WorkloadEvent(
+                t, ProcedureKind.SESSION_ESTABLISHMENT,
+                rng.randrange(self.num_ues)))
+        active_fraction = (RRC_INACTIVITY_TIMEOUT_S
+                           / self.session_interval_s)
+        handover_rate = self.num_ues * active_fraction / self.dwell_s
+        for t in poisson_arrivals(handover_rate, duration_s, rng):
+            events.append(WorkloadEvent(
+                t, ProcedureKind.HANDOVER, rng.randrange(self.num_ues)))
+        if self.mobility_registrations:
+            # Bursty, not Poisson: a pass boundary re-registers the
+            # whole footprint nearly at once (Fig. 12's spikes).
+            t = rng.uniform(0.0, self.dwell_s)
+            while t < duration_s:
+                burst_width = 10.0
+                for ue in range(self.num_ues):
+                    offset = rng.uniform(0.0, burst_width)
+                    if t + offset < duration_s:
+                        events.append(WorkloadEvent(
+                            t + offset,
+                            ProcedureKind.MOBILITY_REGISTRATION, ue))
+                t += self.dwell_s
+        events.sort(key=lambda e: e.time_s)
+        return events
+
+    def mean_rates(self) -> Dict[ProcedureKind, float]:
+        """Expected events/s, the analytic counterpart of events()."""
+        active_fraction = (RRC_INACTIVITY_TIMEOUT_S
+                           / self.session_interval_s)
+        return {
+            ProcedureKind.SESSION_ESTABLISHMENT:
+                self.num_ues / self.session_interval_s,
+            ProcedureKind.HANDOVER:
+                self.num_ues * active_fraction / self.dwell_s,
+            ProcedureKind.MOBILITY_REGISTRATION:
+                (self.num_ues / self.dwell_s
+                 if self.mobility_registrations else 0.0),
+            ProcedureKind.INITIAL_REGISTRATION: self.num_ues / 86400.0,
+        }
+
+
+def satellite_workload(constellation: Constellation, capacity: int,
+                       mobility_registrations: bool,
+                       seed: int = 0) -> SessionWorkload:
+    """The workload one fully loaded satellite of this shell sees."""
+    return SessionWorkload(
+        num_ues=capacity,
+        dwell_s=mean_dwell_time_s(constellation),
+        mobility_registrations=mobility_registrations,
+        seed=seed,
+    )

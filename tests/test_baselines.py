@@ -1,0 +1,162 @@
+"""Tests for the Solution abstraction, the five systems, and options."""
+
+import pytest
+
+from repro.baselines import (
+    ACTIVE_FRACTION,
+    ALL_OPTIONS,
+    ALL_SOLUTIONS,
+    Side,
+    StateResidency,
+    baoyun,
+    dpcm,
+    fiveg_ntn,
+    option1_radio_only,
+    option3_session_mobility,
+    option4_all_functions,
+    skycore,
+    solution_by_name,
+    spacecore,
+)
+from repro.fiveg.messages import ProcedureKind, Role
+
+
+class TestSolutionClassification:
+    def test_ntn_sides(self):
+        ntn = fiveg_ntn()
+        assert ntn.side_of(Role.RAN) is Side.SPACE
+        assert ntn.side_of(Role.AMF) is Side.GROUND
+        assert ntn.side_of(Role.UE) is Side.DEVICE
+
+    def test_skycore_everything_on_board(self):
+        sky = skycore()
+        for role in (Role.AMF, Role.SMF, Role.UPF, Role.AUSF, Role.UDM,
+                     Role.PCF):
+            assert sky.side_of(role) is Side.SPACE
+
+    def test_crossing_detection(self):
+        ntn = fiveg_ntn()
+        flow = ntn.flow(ProcedureKind.SESSION_ESTABLISHMENT)
+        rrc = next(m for m in flow if m.name == "rrc-connection-request")
+        to_core = next(m for m in flow if m.name == "session-request")
+        assert not ntn.crosses_boundary(rrc)       # UE <-> satellite
+        assert ntn.crosses_boundary(to_core)       # satellite -> ground
+
+    def test_skycore_never_crosses(self):
+        sky = skycore()
+        for kind in ProcedureKind:
+            assert sky.crossing_messages(sky.flow(kind)) == 0
+
+    def test_spacecore_session_never_crosses(self):
+        sc = spacecore()
+        flow = sc.flow(ProcedureKind.SESSION_ESTABLISHMENT)
+        assert sc.crossing_messages(flow) == 0
+        assert sc.satellite_messages(flow) == len(flow)
+
+    def test_spacecore_registration_crosses(self):
+        """C1 keeps the home in the loop (root of trust)."""
+        sc = spacecore()
+        flow = sc.flow(ProcedureKind.INITIAL_REGISTRATION)
+        assert sc.crossing_messages(flow) > 0
+
+    def test_ground_messages_subset_relation(self):
+        for factory in ALL_SOLUTIONS:
+            solution = factory()
+            for kind in ProcedureKind:
+                flow = solution.flow(kind)
+                assert (solution.crossing_messages(flow)
+                        <= solution.ground_messages(flow))
+
+
+class TestProcedureRates:
+    DWELL = 165.8
+
+    def test_session_rate_universal(self):
+        for factory in ALL_SOLUTIONS:
+            rates = factory().procedure_rates_per_user(self.DWELL)
+            assert rates[ProcedureKind.SESSION_ESTABLISHMENT] == \
+                pytest.approx(1.0 / 106.9)
+
+    def test_spacecore_no_mobility_registrations(self):
+        rates = spacecore().procedure_rates_per_user(self.DWELL)
+        assert rates[ProcedureKind.MOBILITY_REGISTRATION] == 0.0
+
+    def test_legacy_mobility_registration_every_pass(self):
+        for factory in (skycore, baoyun, dpcm):
+            rates = factory().procedure_rates_per_user(self.DWELL)
+            assert rates[ProcedureKind.MOBILITY_REGISTRATION] == \
+                pytest.approx(1.0 / self.DWELL)
+
+    def test_spacecore_handover_only_active_users(self):
+        sc_rates = spacecore().procedure_rates_per_user(self.DWELL)
+        ntn_rates = fiveg_ntn().procedure_rates_per_user(self.DWELL)
+        assert sc_rates[ProcedureKind.HANDOVER] == pytest.approx(
+            ntn_rates[ProcedureKind.HANDOVER] * ACTIVE_FRACTION)
+
+    def test_active_fraction_sensible(self):
+        assert 0.05 < ACTIVE_FRACTION < 0.3
+
+
+class TestStateResidency:
+    def test_residency_assignments(self):
+        assert spacecore().state_residency is StateResidency.NONE
+        assert skycore().state_residency is StateResidency.ALL_SUBSCRIBERS
+        assert baoyun().state_residency is StateResidency.ACTIVE_CONTEXTS
+        assert fiveg_ntn().state_residency is StateResidency.RELAY_ONLY
+
+    def test_only_skycore_syncs(self):
+        assert skycore().sync_fanout > 0
+        for factory in (spacecore, fiveg_ntn, baoyun, dpcm):
+            assert factory().sync_fanout == 0
+
+    def test_only_dpcm_refreshes_replicas(self):
+        assert dpcm().replica_update_messages > 0
+        assert spacecore().replica_update_messages == 0
+
+    def test_ip_stability(self):
+        """Fig. 21: who survives satellite mobility at the IP layer."""
+        assert spacecore().ip_stable_under_satellite_mobility
+        assert fiveg_ntn().ip_stable_under_satellite_mobility
+        for factory in (skycore, baoyun, dpcm):
+            assert not factory().ip_stable_under_satellite_mobility
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert solution_by_name("spacecore").name == "SpaceCore"
+        assert solution_by_name("5g ntn").name == "5G NTN"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            solution_by_name("StarlinkCore")
+
+    def test_all_solutions_unique_names(self):
+        names = [f().name for f in ALL_SOLUTIONS]
+        assert len(names) == len(set(names)) == 5
+
+
+class TestOptions:
+    def test_option_progression(self):
+        """Fig. 6: each option strictly adds on-board functions."""
+        sizes = [len(factory().on_board) for factory in ALL_OPTIONS]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_option1_matches_ntn_placement(self):
+        assert option1_radio_only().on_board == fiveg_ntn().on_board
+
+    def test_option3_matches_baoyun_placement(self):
+        assert option3_session_mobility().on_board == baoyun().on_board
+
+    def test_option4_no_ground_crossing_for_sessions(self):
+        opt4 = option4_all_functions()
+        flow = opt4.flow(ProcedureKind.SESSION_ESTABLISHMENT)
+        assert opt4.crossing_messages(flow) == 0
+
+    def test_mobility_registration_only_with_mobility_functions(self):
+        """S3: Options 1-2 lack on-board AMF, so satellite motion shows
+        up as handovers, not registrations (Fig. 10 caption)."""
+        assert not ALL_OPTIONS[0]().mobility_registration_per_pass
+        assert not ALL_OPTIONS[1]().mobility_registration_per_pass
+        assert ALL_OPTIONS[2]().mobility_registration_per_pass
+        assert ALL_OPTIONS[3]().mobility_registration_per_pass

@@ -1,0 +1,177 @@
+"""Tests for the Schnorr group, signatures, and station-to-station DH."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.crypto import (
+    Certificate,
+    Initiator,
+    KeyAgreementError,
+    Responder,
+    SCHNORR_GROUP,
+    ShareField,
+    agree,
+    generate_keypair,
+    issue_certificate,
+)
+from repro.crypto.sts import ResponderReply
+
+
+class TestSchnorrGroup:
+    def test_generator_has_order_q(self):
+        g = SCHNORR_GROUP
+        assert pow(g.g, g.q, g.p) == 1
+        assert g.g != 1
+
+    def test_safe_prime_relation(self):
+        g = SCHNORR_GROUP
+        assert g.p == 2 * g.q + 1
+
+    def test_is_element(self):
+        g = SCHNORR_GROUP
+        assert g.is_element(g.generate(12345))
+        assert not g.is_element(0)
+        assert not g.is_element(g.p)
+
+    def test_hash_to_scalar_in_range(self):
+        g = SCHNORR_GROUP
+        s = g.hash_to_scalar(b"abc", b"def")
+        assert 0 <= s < g.q
+
+    def test_hash_to_scalar_injective_framing(self):
+        """Length framing: ("ab","c") and ("a","bc") must differ."""
+        g = SCHNORR_GROUP
+        assert g.hash_to_scalar(b"ab", b"c") != g.hash_to_scalar(b"a", b"bc")
+
+    def test_random_scalar_deterministic_with_rng(self):
+        g = SCHNORR_GROUP
+        assert (g.random_scalar(random.Random(1))
+                == g.random_scalar(random.Random(1)))
+
+
+class TestShareField:
+    def test_inverse(self):
+        a = 123456789
+        assert ShareField.mul(a, ShareField.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ShareField.inv(0)
+
+    def test_poly_eval(self):
+        # 3 + 2x + x^2 at x=2 -> 11
+        assert ShareField.eval_poly([3, 2, 1], 2) == 11
+
+    def test_lagrange_recovers_constant(self):
+        coeffs = [42, 7, 13]  # degree-2 polynomial, secret 42
+        points = [(x, ShareField.eval_poly(coeffs, x)) for x in (1, 2, 3)]
+        assert ShareField.lagrange_at_zero(points) == 42
+
+    def test_lagrange_insufficient_points_wrong(self):
+        coeffs = [42, 7, 13]
+        points = [(x, ShareField.eval_poly(coeffs, x)) for x in (1, 2)]
+        assert ShareField.lagrange_at_zero(points) != 42
+
+
+class TestSignatures:
+    def test_sign_verify(self):
+        sk, vk = generate_keypair(random.Random(5))
+        sig = sk.sign(b"message")
+        assert vk.verify(b"message", sig)
+
+    def test_wrong_message_fails(self):
+        sk, vk = generate_keypair(random.Random(5))
+        sig = sk.sign(b"message")
+        assert not vk.verify(b"other", sig)
+
+    def test_wrong_key_fails(self):
+        sk, _ = generate_keypair(random.Random(5))
+        _, other_vk = generate_keypair(random.Random(6))
+        assert not other_vk.verify(b"m", sk.sign(b"m"))
+
+    def test_out_of_range_signature_rejected(self):
+        _, vk = generate_keypair(random.Random(5))
+        assert not vk.verify(b"m", (SCHNORR_GROUP.q, 1))
+        assert not vk.verify(b"m", (1, SCHNORR_GROUP.q))
+
+    def test_certificate_chain(self):
+        home_sk, home_vk = generate_keypair(random.Random(1))
+        sat_sk, sat_vk = generate_keypair(random.Random(2))
+        cert = issue_certificate("home", home_sk, "sat-1", sat_vk)
+        assert cert.verify(home_vk)
+        assert cert.subject == "sat-1"
+
+    def test_forged_certificate_fails(self):
+        home_sk, home_vk = generate_keypair(random.Random(1))
+        mallory_sk, mallory_vk = generate_keypair(random.Random(3))
+        fake = issue_certificate("home", mallory_sk, "sat-1", mallory_vk)
+        assert not fake.verify(home_vk)
+
+    def test_certificate_subject_tamper_detected(self):
+        home_sk, home_vk = generate_keypair(random.Random(1))
+        sat_sk, sat_vk = generate_keypair(random.Random(2))
+        cert = issue_certificate("home", home_sk, "sat-1", sat_vk)
+        tampered = dataclasses.replace(cert, subject="sat-666")
+        assert not tampered.verify(home_vk)
+
+
+@pytest.fixture()
+def pki():
+    home_sk, home_vk = generate_keypair(random.Random(10))
+    sat_sk, sat_vk = generate_keypair(random.Random(11))
+    cert = issue_certificate("home", home_sk, "sat-7", sat_vk)
+    return home_sk, home_vk, sat_sk, cert
+
+
+class TestStationToStation:
+    def test_both_sides_agree(self, pki):
+        _, home_vk, sat_sk, cert = pki
+        ue_session, sat_session = agree(home_vk, cert, sat_sk,
+                                        rng=random.Random(0))
+        assert ue_session.key == sat_session.key
+        assert len(ue_session.key) == 32
+
+    def test_fresh_key_every_session(self, pki):
+        """Appendix B: K is refreshed per session establishment."""
+        _, home_vk, sat_sk, cert = pki
+        k1, _ = agree(home_vk, cert, sat_sk)
+        k2, _ = agree(home_vk, cert, sat_sk)
+        assert k1.key != k2.key
+
+    def test_uncertified_satellite_rejected(self, pki):
+        home_sk, home_vk, _, _ = pki
+        rogue_sk, rogue_vk = generate_keypair(random.Random(13))
+        rogue_cert = issue_certificate("rogue-home", rogue_sk, "sat-evil",
+                                       rogue_vk)
+        with pytest.raises(KeyAgreementError):
+            agree(home_vk, rogue_cert, rogue_sk)
+
+    def test_mitm_substituted_exponential_rejected(self, pki):
+        """Appendix B: STS resists man-in-the-middle relays."""
+        _, home_vk, sat_sk, cert = pki
+        ue = Initiator(home_vk)
+        sat = Responder(cert, sat_sk)
+        reply, _ = sat.respond(ue.hello)
+        # Mallory swaps the satellite's exponential for her own.
+        mallory = SCHNORR_GROUP.generate(31337)
+        forged = ResponderReply(mallory, reply.certificate, reply.signature)
+        with pytest.raises(KeyAgreementError):
+            ue.finish(forged)
+
+    def test_invalid_initiator_element_rejected(self, pki):
+        _, _, sat_sk, cert = pki
+        sat = Responder(cert, sat_sk)
+        from repro.crypto.sts import InitiatorHello
+        with pytest.raises(KeyAgreementError):
+            sat.respond(InitiatorHello(0))
+
+    def test_replayed_hello_gets_different_key(self, pki):
+        """Replaying X cannot reproduce K: the satellite picks a new y."""
+        _, home_vk, sat_sk, cert = pki
+        ue = Initiator(home_vk)
+        sat = Responder(cert, sat_sk)
+        _, s1 = sat.respond(ue.hello)
+        _, s2 = sat.respond(ue.hello)
+        assert s1.key != s2.key

@@ -1,0 +1,67 @@
+"""Documentation gates: every public item carries a doc comment.
+
+Deliverable (e) requires doc comments on every public item; this test
+walks the entire package and fails on any undocumented public module,
+class, function, or method.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), \
+        f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES,
+                         ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (item.__doc__ and item.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(item):
+            for member_name, member in vars(item).items():
+                if member_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(member):
+                    continue
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: "
+        f"{sorted(undocumented)}")
+
+
+def test_package_inventory_nontrivial():
+    """The walk really covers the whole library."""
+    names = {m.__name__ for m in ALL_MODULES}
+    for expected in ("repro.core.spacecore", "repro.fiveg.procedures",
+                     "repro.topology.routing", "repro.crypto.abe",
+                     "repro.experiments.signaling"):
+        assert expected in names
+    assert len(names) > 50

@@ -1,0 +1,40 @@
+"""Every example script must run cleanly end to end.
+
+The examples are a deliverable; a regression that breaks one is as bad
+as a failing unit test.  Each runs in a subprocess with a generous
+timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=420)
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}")
+    assert "Traceback" not in result.stderr
+    # Every example narrates something.
+    assert len(result.stdout.strip()) > 100
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_module_docstring(script):
+    source = script.read_text()
+    assert source.lstrip().startswith(('"""', '#!'))
+    assert '"""' in source

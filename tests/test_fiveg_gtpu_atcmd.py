@@ -1,0 +1,235 @@
+"""Tests for the GTP-U tunnel codec and the AT-command proxy (S5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fiveg import gtpu
+from repro.fiveg.atcmd import (
+    AtCommand,
+    AtCommandError,
+    SatelliteAtAgent,
+    UeModemProxy,
+    build_session_request,
+    extract_session_request,
+    parse,
+)
+
+
+class TestGtpEncodeDecode:
+    def test_plain_packet_roundtrip(self):
+        packet = gtpu.GtpPacket(teid=0x1234, payload=b"user data")
+        assert gtpu.decode(gtpu.encode(packet)) == packet
+
+    def test_sequence_number_roundtrip(self):
+        packet = gtpu.GtpPacket(teid=7, payload=b"x", sequence=4242)
+        decoded = gtpu.decode(gtpu.encode(packet))
+        assert decoded.sequence == 4242
+
+    def test_extension_roundtrip(self):
+        ext = gtpu.ExtensionHeader(gtpu.SPACECORE_FEF_TYPE, b"replica!")
+        packet = gtpu.GtpPacket(teid=9, payload=b"p", extensions=(ext,))
+        decoded = gtpu.decode(gtpu.encode(packet))
+        assert decoded.extensions == (ext,)
+
+    def test_binary_content_with_trailing_zeros_survives(self):
+        """Padding must never eat real zero bytes."""
+        ext = gtpu.ExtensionHeader(gtpu.SPACECORE_FEF_TYPE,
+                                   b"\x00\x01\x00\x00")
+        packet = gtpu.GtpPacket(teid=9, payload=b"", extensions=(ext,))
+        decoded = gtpu.decode(gtpu.encode(packet))
+        assert decoded.extensions[0].content == b"\x00\x01\x00\x00"
+
+    @given(st.integers(0, 2**32 - 1), st.binary(max_size=512),
+           st.binary(max_size=900))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, teid, payload, replica):
+        wire = gtpu.encapsulate_with_replica(teid, payload, replica)
+        decoded = gtpu.decode(wire)
+        assert decoded.teid == teid
+        assert decoded.payload == payload
+        assert decoded.spacecore_replica() == replica
+
+    def test_large_replica_fragments(self):
+        """ABE replicas (~1.1 kB) span multiple extension headers."""
+        replica = bytes(range(256)) * 6  # 1536 bytes
+        wire = gtpu.encapsulate_with_replica(1, b"data", replica)
+        decoded = gtpu.decode(wire)
+        assert len(decoded.extensions) >= 2
+        assert decoded.spacecore_replica() == replica
+
+    def test_teid_out_of_range(self):
+        with pytest.raises(ValueError):
+            gtpu.encode(gtpu.GtpPacket(teid=2**32, payload=b""))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(gtpu.GtpError):
+            gtpu.decode(b"\x30\xff")
+
+    def test_bad_version_rejected(self):
+        wire = bytearray(gtpu.encode(gtpu.GtpPacket(1, b"x")))
+        wire[0] = (2 << 5) | (1 << 4)
+        with pytest.raises(gtpu.GtpError):
+            gtpu.decode(bytes(wire))
+
+    def test_length_mismatch_rejected(self):
+        wire = bytearray(gtpu.encode(gtpu.GtpPacket(1, b"abcd")))
+        wire[2:4] = (99).to_bytes(2, "big")
+        with pytest.raises(gtpu.GtpError):
+            gtpu.decode(bytes(wire))
+
+    def test_no_replica_returns_none(self):
+        packet = gtpu.GtpPacket(teid=5, payload=b"hi")
+        assert gtpu.decode(gtpu.encode(packet)).spacecore_replica() is None
+
+
+class TestTunnelChain:
+    def test_replica_visible_at_every_hop(self):
+        chain = gtpu.TunnelChain(["upf-a", "upf-b", "upf-c"])
+        wire = gtpu.encapsulate_with_replica(77, b"payload", b"states")
+        egress = chain.forward(wire)
+        assert chain.hops_with_replica() == ["upf-a", "upf-b", "upf-c"]
+        assert gtpu.decode(egress).payload == b"payload"
+
+    def test_plain_traffic_carries_nothing(self):
+        chain = gtpu.TunnelChain(["upf-a"])
+        wire = gtpu.encode(gtpu.GtpPacket(teid=77, payload=b"payload"))
+        chain.forward(wire)
+        assert chain.hops_with_replica() == []
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            gtpu.TunnelChain([])
+
+
+class TestAtCommands:
+    def test_parse_simple(self):
+        command = parse("AT+CGATT=1")
+        assert command.name == "CGATT"
+        assert command.parameters == ("1",)
+
+    def test_parse_no_parameters(self):
+        assert parse("AT+COPS").parameters == ()
+
+    def test_parse_rejects_non_at(self):
+        with pytest.raises(AtCommandError):
+            parse("ping satellite")
+
+    def test_render_parse_roundtrip(self):
+        command = AtCommand("CGQREQ", ("1", "2", "3"))
+        assert parse(command.render()) == command
+
+    def test_session_request_roundtrip(self):
+        replica = b"\x01\x02binary replica\xff\x00"
+        command = build_session_request(3, replica)
+        context, recovered = extract_session_request(command)
+        assert context == 3
+        assert recovered == replica
+
+    def test_extract_rejects_wrong_command(self):
+        with pytest.raises(AtCommandError):
+            extract_session_request(AtCommand("CGATT", ("1",)))
+
+    def test_extract_rejects_legacy_cgqreq(self):
+        """A plain (non-SpaceCore) CGQREQ falls back to legacy 5G."""
+        legacy = AtCommand("CGQREQ", ("1", "1", "1", "1", "1", "1"))
+        with pytest.raises(AtCommandError):
+            extract_session_request(legacy)
+
+    def test_extract_rejects_bad_base64(self):
+        bad = AtCommand("CGQREQ",
+                        ("1", "1", "1", "1", "1", "1", "!!notb64!!"))
+        with pytest.raises(AtCommandError):
+            extract_session_request(bad)
+
+    def test_context_id_validation(self):
+        with pytest.raises(ValueError):
+            build_session_request(0, b"x")
+
+
+class TestProxyAndAgent:
+    def test_proxy_requires_replica(self):
+        proxy = UeModemProxy()
+        with pytest.raises(AtCommandError):
+            proxy.request_session()
+
+    def test_proxy_increments_context_ids(self):
+        proxy = UeModemProxy()
+        proxy.install_replica(b"replica")
+        first = extract_session_request(proxy.request_session())[0]
+        second = extract_session_request(proxy.request_session())[0]
+        assert second == first + 1
+
+    def test_empty_replica_rejected(self):
+        with pytest.raises(ValueError):
+            UeModemProxy().install_replica(b"")
+
+    def test_agent_extracts_replica(self):
+        proxy = UeModemProxy()
+        proxy.install_replica(b"the states")
+        agent = SatelliteAtAgent()
+        replica = agent.handle(proxy.request_session().render())
+        assert replica == b"the states"
+        assert agent.legacy_fallbacks == 0
+
+    def test_agent_falls_back_on_legacy_commands(self):
+        agent = SatelliteAtAgent()
+        assert agent.handle("AT+CGATT=1") is None
+        assert agent.handle("AT+CGQREQ=1,1,1,1,1,1") is None
+        assert agent.legacy_fallbacks == 2
+
+    def test_end_to_end_with_real_replica(self):
+        """UE proxy -> AT channel -> satellite agent -> ABE decrypt."""
+        from repro.core.home import SpaceCoreHome
+        from repro.crypto import decrypt
+        from repro.fiveg import SessionState, StateReplica
+        home = SpaceCoreHome()
+        ue = home.provision_subscriber(42)
+        home.register(ue, (1, 1), (1, 1))
+        creds = home.enroll_satellite("sat-at")
+        proxy = UeModemProxy()
+        proxy.install_replica(ue.replica.to_bytes())
+        agent = SatelliteAtAgent()
+        raw = agent.handle(proxy.request_session().render())
+        assert raw is not None
+        replica = StateReplica.from_bytes(raw)
+        blob = decrypt(creds.abe_key, replica.ciphertext)
+        state = SessionState.from_bytes(blob)
+        assert state.identifiers.supi == str(ue.supi)
+
+
+class TestReplicaWireFormat:
+    def test_replica_roundtrip(self):
+        from repro.core.home import SpaceCoreHome
+        from repro.fiveg import StateReplica
+        home = SpaceCoreHome()
+        ue = home.provision_subscriber(7)
+        home.register(ue, (1, 1), (1, 1))
+        wire = ue.replica.to_bytes()
+        recovered = StateReplica.from_bytes(wire)
+        assert recovered.version == ue.replica.version
+        assert recovered.signature == ue.replica.signature
+        assert (recovered.ciphertext.payload
+                == ue.replica.ciphertext.payload)
+
+    def test_replica_rides_gtpu_fef(self):
+        """The full S5 data path: replica in the GTP-U tunnel header."""
+        from repro.core.home import SpaceCoreHome
+        from repro.crypto import decrypt
+        from repro.fiveg import SessionState, StateReplica
+        home = SpaceCoreHome()
+        ue = home.provision_subscriber(8)
+        home.register(ue, (1, 1), (1, 1))
+        creds = home.enroll_satellite("sat-gtp")
+        wire = gtpu.encapsulate_with_replica(
+            teid=1001, user_payload=b"user bytes",
+            replica_bytes=ue.replica.to_bytes())
+        chain = gtpu.TunnelChain(["ingress-upf", "egress-upf"])
+        chain.forward(wire)
+        assert chain.hops_with_replica() == ["ingress-upf",
+                                             "egress-upf"]
+        recovered = StateReplica.from_bytes(
+            chain.replicas_seen["egress-upf"])
+        state = SessionState.from_bytes(
+            decrypt(creds.abe_key, recovered.ciphertext))
+        assert state.identifiers.supi == str(ue.supi)

@@ -1,0 +1,139 @@
+"""Tests for the service-based interface layer."""
+
+import pytest
+
+from repro.fiveg import CoreNetwork
+from repro.fiveg.sbi import (
+    SbiError,
+    SbiRequest,
+    SbiResponse,
+    ServiceMesh,
+    build_core_mesh,
+)
+
+
+class TestServiceMesh:
+    def test_register_and_invoke(self):
+        mesh = ServiceMesh()
+        mesh.register("Test_Service", "producer-x",
+                      lambda req: SbiResponse(200, {"echo":
+                                                    req.payload["v"]}))
+        response = mesh.invoke("Test_Service", "consumer-y", v=42)
+        assert response.ok
+        assert response.body["echo"] == 42
+
+    def test_double_registration_rejected(self):
+        mesh = ServiceMesh()
+        mesh.register("S", "a", lambda req: SbiResponse(200))
+        with pytest.raises(SbiError):
+            mesh.register("S", "b", lambda req: SbiResponse(200))
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(SbiError):
+            ServiceMesh().invoke("Nope_Service", "c")
+
+    def test_producer_exception_becomes_500(self):
+        mesh = ServiceMesh()
+
+        def broken(request):
+            raise RuntimeError("kaboom")
+
+        mesh.register("S", "p", broken)
+        response = mesh.invoke("S", "c")
+        assert response.status == 500
+        assert mesh.failure_counts() == {"S": 1}
+
+    def test_invocation_counting(self):
+        mesh = ServiceMesh()
+        mesh.register("S", "p", lambda req: SbiResponse(200))
+        for _ in range(3):
+            mesh.invoke("S", "c")
+        assert mesh.invocation_counts()["S"] == 3
+        assert mesh.total_invocations() == 3
+
+    def test_transport_latency_charged(self):
+        charges = {"ground": 0.03}
+        mesh = ServiceMesh(
+            transport_latency=lambda consumer, producer:
+            charges["ground"])
+        mesh.register("S", "p", lambda req: SbiResponse(200))
+        mesh.invoke("S", "c")
+        mesh.invoke("S", "c")
+        assert mesh.simulated_latency_s == pytest.approx(0.06)
+
+    def test_deregister(self):
+        mesh = ServiceMesh()
+        mesh.register("S", "p", lambda req: SbiResponse(200))
+        mesh.deregister("S")
+        assert not mesh.is_registered("S")
+
+
+class TestCoreMesh:
+    @pytest.fixture()
+    def wired(self):
+        core = CoreNetwork()
+        ue = core.provision_subscriber(1)
+        mesh = build_core_mesh(core)
+        return core, ue, mesh
+
+    def test_authentication_via_sbi(self, wired):
+        core, ue, mesh = wired
+        response = mesh.invoke(
+            "Nausf_UEAuthentication_Authenticate", "amf",
+            supi=ue.supi, serving_network=core.serving_network_name)
+        assert response.ok
+        rand, autn = response.body["rand"], response.body["autn"]
+        # The UE accepts the vector: it really came from its home.
+        res_star = ue.authenticate(core.serving_network_name, rand,
+                                   autn)
+        assert core.ausf.confirm(ue.supi, res_star) is not None
+
+    def test_session_lifecycle_via_sbi(self, wired):
+        core, ue, mesh = wired
+        created = mesh.invoke("Nsmf_PDUSession_CreateSMContext", "amf",
+                              supi=ue.supi, home_cell=(1, 1),
+                              ue_cell=(2, 2))
+        assert created.status == 201
+        session = created.body["session"]
+        assert core.smf.session(session.session_id) is not None
+        released = mesh.invoke("Nsmf_PDUSession_ReleaseSMContext",
+                               "amf", session_id=session.session_id)
+        assert released.status == 204
+        assert core.smf.session(session.session_id) is None
+
+    def test_policy_via_sbi(self, wired):
+        core, ue, mesh = wired
+        response = mesh.invoke("Npcf_SMPolicyControl_Create", "smf",
+                               supi=ue.supi)
+        assert response.status == 201
+        assert response.body["qos"].forwarding_rules
+
+    def test_unknown_subscriber_becomes_500(self, wired):
+        core, _, mesh = wired
+        from repro.fiveg.identifiers import Supi
+        stranger = Supi(core.plmn, 999999)
+        response = mesh.invoke("Nudm_SDM_Get", "smf", supi=stranger)
+        assert response.status == 500
+
+    def test_producers_assigned_correctly(self, wired):
+        _, _, mesh = wired
+        assert mesh.producer_of("Nudm_SDM_Get") == "udm"
+        assert mesh.producer_of(
+            "Nsmf_PDUSession_CreateSMContext") == "smf"
+
+    def test_boundary_latency_model(self):
+        """Producer placement drives the per-call latency charge --
+        the SBI view of the space-ground asymmetry."""
+        core = CoreNetwork()
+        ue = core.provision_subscriber(2)
+
+        def latency(consumer, producer):
+            # The consumer (satellite AMF) is in orbit; every call to
+            # a ground NF pays half an RTT each way.
+            return 0.060 if producer in ("udm", "ausf", "pcf") else 0.0
+
+        mesh = build_core_mesh(core, transport_latency=latency)
+        mesh.invoke("Nudm_SDM_Get", "sat-amf", supi=ue.supi)
+        mesh.invoke("Nsmf_PDUSession_CreateSMContext", "sat-amf",
+                    supi=ue.supi, home_cell=(0, 0), ue_cell=(0, 0))
+        assert mesh.simulated_latency_s == pytest.approx(0.060)

@@ -1,0 +1,146 @@
+"""Tests for NAS security, coverage statistics, and availability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    availability_gap,
+    availability_sweep,
+    gateway_reachability,
+)
+from repro.fiveg.nas_security import (
+    NasSecurityContext,
+    NasSecurityError,
+    establish_pair,
+)
+from repro.orbits import (
+    coverage_by_latitude,
+    coverage_statistics,
+    densest_latitude_deg,
+    iridium,
+    starlink,
+)
+
+K_AMF = b"k" * 32
+
+
+class TestNasSecurity:
+    def test_protect_unprotect_roundtrip(self):
+        ue, amf = establish_pair(K_AMF)
+        wire = ue.protect(b"registration request", uplink=True)
+        assert amf.unprotect(wire, uplink=True) == \
+            b"registration request"
+
+    def test_ciphering_hides_plaintext(self):
+        ue, _ = establish_pair(K_AMF)
+        wire = ue.protect(b"SECRET-IDENTITY", uplink=True)
+        assert b"SECRET-IDENTITY" not in wire
+
+    def test_counts_increment_per_message(self):
+        ue, amf = establish_pair(K_AMF)
+        for i in range(5):
+            wire = ue.protect(f"msg-{i}".encode(), uplink=True)
+            assert amf.unprotect(wire, uplink=True) == \
+                f"msg-{i}".encode()
+        assert ue.uplink_count == 5
+        assert amf.uplink_count == 5
+
+    def test_tamper_detected(self):
+        ue, amf = establish_pair(K_AMF)
+        wire = bytearray(ue.protect(b"payload", uplink=True))
+        wire[-1] ^= 0x01
+        with pytest.raises(NasSecurityError):
+            amf.unprotect(bytes(wire), uplink=True)
+
+    def test_replay_detected(self):
+        """A captured NAS message cannot be replayed (Appendix B)."""
+        ue, amf = establish_pair(K_AMF)
+        wire = ue.protect(b"first", uplink=True)
+        amf.unprotect(wire, uplink=True)
+        with pytest.raises(NasSecurityError):
+            amf.unprotect(wire, uplink=True)
+
+    def test_wrong_key_rejected(self):
+        ue, _ = establish_pair(K_AMF)
+        _, wrong_amf = establish_pair(b"x" * 32)
+        wire = ue.protect(b"hello", uplink=True)
+        with pytest.raises(NasSecurityError):
+            wrong_amf.unprotect(wire, uplink=True)
+
+    def test_directions_independent(self):
+        ue, amf = establish_pair(K_AMF)
+        up = ue.protect(b"up", uplink=True)
+        down = amf.protect(b"down", uplink=False)
+        assert amf.unprotect(up, uplink=True) == b"up"
+        assert ue.unprotect(down, uplink=False) == b"down"
+
+    def test_short_message_rejected(self):
+        _, amf = establish_pair(K_AMF)
+        with pytest.raises(NasSecurityError):
+            amf.unprotect(b"tiny", uplink=True)
+
+    @given(st.binary(min_size=0, max_size=512))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, payload):
+        ue, amf = establish_pair(K_AMF)
+        assert amf.unprotect(ue.protect(payload, uplink=True),
+                             uplink=True) == payload
+
+
+class TestCoverageStatistics:
+    def test_starlink_midlatitude_continuous(self):
+        stats = coverage_statistics(starlink(), 40.0,
+                                    duration_s=1800.0)
+        assert stats.continuous
+        assert stats.mean_visible >= 1.0
+
+    def test_starlink_polar_uncovered(self):
+        stats = coverage_statistics(starlink(), 85.0,
+                                    duration_s=600.0)
+        assert stats.coverage_fraction == 0.0
+
+    def test_iridium_polar_covered(self):
+        stats = coverage_statistics(iridium(), 85.0, duration_s=1200.0)
+        assert stats.coverage_fraction > 0.9
+
+    def test_coverage_by_latitude_profile(self):
+        profile = coverage_by_latitude(starlink(),
+                                       latitudes_deg=(0.0, 45.0, 70.0),
+                                       duration_s=900.0)
+        by_lat = {p.lat_deg: p for p in profile}
+        # Mid-latitudes see more satellites than the equator (turn-
+        # point bunching), and 70 deg is outside the 53 deg band.
+        assert by_lat[45.0].mean_visible > by_lat[0.0].mean_visible
+        assert by_lat[70.0].coverage_fraction < 0.5
+
+    def test_densest_latitude_near_inclination(self):
+        assert densest_latitude_deg(starlink()) == pytest.approx(50.0)
+
+
+class TestAvailability:
+    def test_reachability_full_when_healthy(self):
+        assert gateway_reachability(starlink(), 0.0) == 1.0
+
+    def test_reachability_degrades_gracefully(self):
+        """The +Grid is redundant: 20% failures barely partition it."""
+        reach = gateway_reachability(starlink(), 0.2, seed=1)
+        assert 0.9 < reach <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gateway_reachability(starlink(), 1.0)
+
+    def test_spacecore_availability_advantage(self):
+        points = availability_sweep(starlink(),
+                                    failure_fractions=(0.0, 0.1))
+        gaps = availability_gap(points)
+        for level, gap in gaps.items():
+            assert gap > 0.2, f"no advantage at {level}"
+
+    def test_spacecore_immune_to_gateway_partition(self):
+        points = availability_sweep(starlink(),
+                                    failure_fractions=(0.2,))
+        spacecore_point = next(p for p in points
+                               if p.solution == "SpaceCore")
+        assert spacecore_point.reachability == 1.0

@@ -1,0 +1,125 @@
+"""Tests for the packet-level discrete-event forwarding."""
+
+import math
+
+import pytest
+
+from repro.orbits import IdealPropagator, serving_satellite, starlink
+from repro.sim.packets import PacketSimulation
+from repro.topology import GeospatialRouter, GridTopology
+
+BEIJING = (math.radians(39.9), math.radians(116.4))
+NEW_YORK = (math.radians(40.7), math.radians(-74.0))
+
+
+@pytest.fixture()
+def topology():
+    return GridTopology(IdealPropagator(starlink()), [])
+
+
+@pytest.fixture()
+def src_sat(topology):
+    return serving_satellite(topology.propagator, 0.0, *BEIJING)
+
+
+class TestDelivery:
+    def test_single_packet_delivered(self, topology, src_sat):
+        sim = PacketSimulation(topology)
+        record = sim.send(src_sat, *NEW_YORK)
+        sim.run()
+        assert record.delivered_at_s is not None
+        assert record.hops > 5
+        assert not record.dropped
+
+    def test_matches_static_route_delay(self, topology, src_sat):
+        """Cross-validation: DES latency == static propagation plus
+        per-hop serialisation on an unloaded network."""
+        sim = PacketSimulation(topology, link_rate_mbps=1000.0)
+        static = GeospatialRouter(topology).route(src_sat, *NEW_YORK,
+                                                  0.0)
+        record = sim.send(src_sat, *NEW_YORK, size_bytes=1500)
+        sim.run()
+        serialization = static.hops * 1500 * 8 / 1e9
+        assert record.latency_s == pytest.approx(
+            static.delay_s + serialization, rel=1e-9)
+
+    def test_local_delivery_instant(self, topology, src_sat):
+        sim = PacketSimulation(topology)
+        record = sim.send(src_sat, *BEIJING)
+        sim.run()
+        assert record.latency_s == 0.0
+        assert record.hops == 0
+
+    def test_many_packets_statistics(self, topology, src_sat):
+        sim = PacketSimulation(topology)
+        for i in range(20):
+            sim.send(src_sat, *NEW_YORK, at_s=i * 0.01)
+        sim.run()
+        low, mean, high = sim.latency_stats()
+        assert 0.02 < low <= mean <= high < 0.2
+        assert len(sim.delivered()) == 20
+
+
+class TestQueueing:
+    def test_burst_into_one_link_queues(self, topology, src_sat):
+        """Simultaneous packets share the first ISL: later ones wait."""
+        sim = PacketSimulation(topology, link_rate_mbps=1.0)  # slow
+        records = [sim.send(src_sat, *NEW_YORK, size_bytes=1500,
+                            at_s=0.0) for _ in range(5)]
+        sim.run()
+        latencies = [r.latency_s for r in records]
+        assert latencies == sorted(latencies)
+        # Each 1500B packet serialises in 12 ms at 1 Mbps; the 5th
+        # packet waits 4 serialisation slots at the first hop alone.
+        assert latencies[-1] - latencies[0] > 0.04
+
+    def test_fast_links_no_spread(self, topology, src_sat):
+        sim = PacketSimulation(topology, link_rate_mbps=10_000.0)
+        records = [sim.send(src_sat, *NEW_YORK, at_s=0.0)
+                   for _ in range(5)]
+        sim.run()
+        spread = (max(r.latency_s for r in records)
+                  - min(r.latency_s for r in records))
+        assert spread < 0.001
+
+
+class TestLossAndFailures:
+    def test_random_loss_drops_some(self, topology, src_sat):
+        sim = PacketSimulation(topology, loss_probability=0.2, seed=1)
+        for _ in range(40):
+            sim.send(src_sat, *NEW_YORK)
+        sim.run()
+        assert sim.drop_count() > 0
+        assert len(sim.delivered()) > 0
+
+    def test_mid_flight_link_failure_drops(self, topology, src_sat):
+        sim = PacketSimulation(topology)
+        static = GeospatialRouter(topology).route(src_sat, *NEW_YORK,
+                                                  0.0)
+        record = sim.send(src_sat, *NEW_YORK)
+        # Fail a link on the pinned path before the packet gets there.
+        mid = len(static.path) // 2
+        topology.fail_isl(static.path[mid], static.path[mid + 1])
+        sim.run()
+        assert record.dropped
+
+    def test_unroutable_destination_dropped_immediately(self, topology,
+                                                        src_sat):
+        # Kill the source's entire neighbourhood: nothing can leave.
+        for nbr in list(topology.isl_neighbors(src_sat)):
+            topology.fail_isl(src_sat, nbr)
+        sim = PacketSimulation(topology)
+        record = sim.send(src_sat, *NEW_YORK)
+        sim.run()
+        assert record.dropped
+
+    def test_validation(self, topology):
+        with pytest.raises(ValueError):
+            PacketSimulation(topology, link_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            PacketSimulation(topology, loss_probability=1.0)
+
+    def test_latency_stats_requires_deliveries(self, topology):
+        sim = PacketSimulation(topology)
+        with pytest.raises(RuntimeError):
+            sim.latency_stats()

@@ -1,0 +1,102 @@
+"""Tests for line-of-sight feasibility and failure recovery."""
+
+import math
+
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.core import SpaceCoreSystem
+from repro.orbits import IdealPropagator, starlink
+from repro.topology import GridTopology
+from repro.topology.links import line_of_sight_clear
+
+
+class TestLineOfSight:
+    ALT = EARTH_RADIUS_KM + 550.0
+
+    def test_adjacent_satellites_clear(self):
+        a = (self.ALT, 0.0, 0.0)
+        b = (self.ALT * math.cos(0.3), self.ALT * math.sin(0.3), 0.0)
+        assert line_of_sight_clear(a, b, EARTH_RADIUS_KM + 80.0)
+
+    def test_antipodal_satellites_occluded(self):
+        a = (self.ALT, 0.0, 0.0)
+        b = (-self.ALT, 0.0, 0.0)
+        assert not line_of_sight_clear(a, b, EARTH_RADIUS_KM + 80.0)
+
+    def test_coincident_points(self):
+        a = (self.ALT, 0.0, 0.0)
+        assert line_of_sight_clear(a, a, EARTH_RADIUS_KM)
+
+    def test_grid_neighbors_always_feasible(self):
+        topo = GridTopology(IdealPropagator(starlink()), [])
+        for sat in (0, 100, 791, 1583):
+            for nbr in topo.isl_neighbors(sat):
+                assert topo.isl_feasible(sat, nbr, 0.0)
+
+    def test_cross_constellation_pair_infeasible(self):
+        """Two satellites on opposite sides of the Earth cannot link."""
+        topo = GridTopology(IdealPropagator(starlink()), [])
+        c = topo.constellation
+        near = c.sat_index(0, 0)
+        far = c.sat_index(0, c.sats_per_plane // 2)  # half orbit away
+        assert not topo.isl_feasible(near, far, 0.0)
+
+
+class TestFailureRecovery:
+    @pytest.fixture()
+    def system_with_session(self):
+        system = SpaceCoreSystem(starlink())
+        ue = system.provision_ue(39.9, 116.4)
+        system.register(ue)
+        system.establish_session(ue, t=0.0)
+        return system, ue
+
+    def test_recovery_after_serving_satellite_dies(self,
+                                                   system_with_session):
+        system, ue = system_with_session
+        victim = system._ue_serving_sat[str(ue.supi)]
+        system.topology.fail_satellite(victim)
+        new_sat = system.recover_from_satellite_failure(ue, t=0.0)
+        assert new_sat is not None and new_sat != victim
+        assert system.satellite(new_sat).is_serving(str(ue.supi))
+        assert system.send_uplink(ue, 800, 0.0)
+
+    def test_recovery_needs_no_state_from_dead_node(self,
+                                                    system_with_session):
+        """The dead satellite's ephemeral state is simply lost; the
+        replica re-creates everything on the new node."""
+        system, ue = system_with_session
+        victim = system._ue_serving_sat[str(ue.supi)]
+        dead = system.satellite(victim)
+        system.topology.fail_satellite(victim)
+        new_sat = system.recover_from_satellite_failure(ue, t=0.0)
+        # The dead node still holds its stale entry (it is dead, not
+        # cleaned up); the new node serves independently.
+        assert new_sat != victim
+        assert system.satellite(new_sat).served_count == 1
+
+    def test_recovery_fails_politely_without_coverage(self):
+        system = SpaceCoreSystem(starlink())
+        ue = system.provision_ue(39.9, 116.4)
+        system.register(ue)
+        system.establish_session(ue, t=0.0)
+        # Kill every visible satellite.
+        from repro.orbits import visible_satellites
+        for sat in visible_satellites(system.propagator, 0.0, ue.lat,
+                                      ue.lon):
+            system.topology.fail_satellite(int(sat))
+        assert system.recover_from_satellite_failure(ue, 0.0) is None
+        assert not ue.connected
+
+    def test_recovered_session_gets_fresh_key(self, system_with_session):
+        """Key K rotates on the new satellite (forward secrecy)."""
+        system, ue = system_with_session
+        victim = system._ue_serving_sat[str(ue.supi)]
+        old_key = system.satellite(victim).served_session(
+            str(ue.supi)).session_key
+        system.topology.fail_satellite(victim)
+        new_sat = system.recover_from_satellite_failure(ue, 0.0)
+        new_key = system.satellite(new_sat).served_session(
+            str(ue.supi)).session_key
+        assert new_key != old_key

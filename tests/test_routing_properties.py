@@ -1,0 +1,96 @@
+"""Property-based tests for Algorithm 1's routing invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orbits import IdealPropagator, serving_satellite, starlink
+from repro.topology import GeospatialRouter, GridTopology
+
+_PROPAGATOR = IdealPropagator(starlink())
+_TOPOLOGY = GridTopology(_PROPAGATOR, [])
+_ROUTER = GeospatialRouter(_TOPOLOGY)
+
+lat_strategy = st.floats(min_value=-math.radians(50),
+                         max_value=math.radians(50))
+lon_strategy = st.floats(min_value=-math.pi, max_value=math.pi)
+
+
+class TestRoutingInvariants:
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_always_delivers_on_healthy_grid(self, lat1, lon1, lat2,
+                                             lon2):
+        src = serving_satellite(_PROPAGATOR, 0.0, lat1, lon1)
+        if src < 0:
+            return
+        result = _ROUTER.route(src, lat2, lon2, 0.0)
+        assert result.delivered
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_hop_count_bounded_by_grid_diameter(self, lat1, lon1, lat2,
+                                                lon2):
+        """No route should wander beyond ~the torus diameter."""
+        src = serving_satellite(_PROPAGATOR, 0.0, lat1, lon1)
+        if src < 0:
+            return
+        result = _ROUTER.route(src, lat2, lon2, 0.0)
+        c = _TOPOLOGY.constellation
+        diameter = c.num_planes // 2 + c.sats_per_plane // 2
+        assert result.hops <= diameter + 8
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_routing_is_deterministic(self, lat1, lon1, lat2, lon2):
+        src = serving_satellite(_PROPAGATOR, 0.0, lat1, lon1)
+        if src < 0:
+            return
+        first = _ROUTER.route(src, lat2, lon2, 0.0)
+        second = _ROUTER.route(src, lat2, lon2, 0.0)
+        assert first.path == second.path
+        assert first.delay_s == second.delay_s
+
+    @given(lat_strategy, lon_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_self_delivery_zero_hops(self, lat, lon):
+        """Routing to a point under the source satellite never moves."""
+        src = serving_satellite(_PROPAGATOR, 0.0, lat, lon)
+        if src < 0:
+            return
+        result = _ROUTER.route(src, lat, lon, 0.0)
+        assert result.delivered
+        assert result.hops == 0
+        assert result.delay_s == 0.0
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_path_has_no_cycles(self, lat1, lon1, lat2, lon2):
+        src = serving_satellite(_PROPAGATOR, 0.0, lat1, lon1)
+        if src < 0:
+            return
+        result = _ROUTER.route(src, lat2, lon2, 0.0)
+        assert len(result.path) == len(set(result.path))
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_path_follows_grid_edges(self, lat1, lon1, lat2, lon2):
+        """Every hop in a route is a real ISL neighbour pair."""
+        src = serving_satellite(_PROPAGATOR, 0.0, lat1, lon1)
+        if src < 0:
+            return
+        result = _ROUTER.route(src, lat2, lon2, 0.0)
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in _TOPOLOGY.isl_neighbors(a)
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy,
+           st.floats(min_value=0.0, max_value=7200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_delivery_at_any_epoch(self, lat1, lon1, lat2, lon2, t):
+        """The torus rotates but routing never depends on the epoch."""
+        src = serving_satellite(_PROPAGATOR, t, lat1, lon1)
+        if src < 0:
+            return
+        assert _ROUTER.route(src, lat2, lon2, t).delivered

@@ -1,0 +1,247 @@
+"""Tests for the RRC state machine, QoS shaping, and paging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paging import (
+    DEFAULT_DRX_CYCLE_S,
+    PagingTransaction,
+    geospatial_cell_cost,
+    legacy_tracking_area_cost,
+    occasion_for,
+)
+from repro.fiveg.qos import QosShaper, TokenBucket
+from repro.fiveg.rrc import RrcConnection, RrcError, RrcEvent, RrcState
+from repro.fiveg.state import QosState
+from repro.geo import GeospatialCellGrid
+from repro.orbits import starlink
+
+
+class TestRrcStateMachine:
+    def test_starts_idle(self):
+        assert RrcConnection().state is RrcState.IDLE
+
+    def test_setup_connects(self):
+        rrc = RrcConnection()
+        assert rrc.handle(RrcEvent.SETUP, 0.0) is RrcState.CONNECTED
+        assert rrc.connected
+
+    def test_inactivity_releases(self):
+        """S3.1: inactive connections release after 10-15 s."""
+        rrc = RrcConnection(inactivity_timeout_s=12.5)
+        rrc.handle(RrcEvent.SETUP, 0.0)
+        assert rrc.tick(12.0) is None
+        transition = rrc.tick(12.5)
+        assert transition is not None
+        assert rrc.state is RrcState.IDLE
+
+    def test_data_activity_refreshes_timer(self):
+        rrc = RrcConnection(inactivity_timeout_s=10.0)
+        rrc.handle(RrcEvent.SETUP, 0.0)
+        rrc.data_activity(8.0)
+        assert rrc.tick(12.0) is None  # timer restarted at t=8
+        assert rrc.tick(18.0) is not None
+
+    def test_suspend_resume_cycle(self):
+        rrc = RrcConnection()
+        rrc.handle(RrcEvent.SETUP, 0.0)
+        rrc.handle(RrcEvent.SUSPEND, 1.0)
+        assert rrc.state is RrcState.INACTIVE
+        assert rrc.reachable_by_paging
+        rrc.handle(RrcEvent.RESUME, 2.0)
+        assert rrc.connected
+        assert rrc.resumes == 1
+
+    def test_paging_connects_idle_ue(self):
+        rrc = RrcConnection()
+        rrc.handle(RrcEvent.PAGE, 5.0)
+        assert rrc.connected
+
+    def test_illegal_transitions_rejected(self):
+        rrc = RrcConnection()
+        with pytest.raises(RrcError):
+            rrc.handle(RrcEvent.RESUME, 0.0)  # resume from idle
+        rrc.handle(RrcEvent.SETUP, 0.0)
+        with pytest.raises(RrcError):
+            rrc.handle(RrcEvent.SETUP, 1.0)  # double setup
+
+    def test_data_activity_requires_connected(self):
+        with pytest.raises(RrcError):
+            RrcConnection().data_activity(0.0)
+
+    def test_radio_link_failure_drops_to_idle(self):
+        rrc = RrcConnection()
+        rrc.handle(RrcEvent.SETUP, 0.0)
+        rrc.handle(RrcEvent.RADIO_LINK_FAILURE, 3.0)
+        assert rrc.state is RrcState.IDLE
+
+    def test_connected_fraction_matches_paper_math(self):
+        """A session every ~107 s held ~12.5 s -> ~12% connected."""
+        rrc = RrcConnection(inactivity_timeout_s=12.5)
+        t = 0.0
+        while t < 1069.0:
+            rrc.handle(RrcEvent.SETUP, t)
+            rrc.handle(RrcEvent.INACTIVITY_EXPIRED, t + 12.5)
+            t += 106.9
+        fraction = rrc.connected_time_fraction(1069.0)
+        assert fraction == pytest.approx(12.5 / 106.9, rel=0.05)
+
+    def test_history_recorded(self):
+        rrc = RrcConnection()
+        rrc.handle(RrcEvent.SETUP, 0.0)
+        rrc.handle(RrcEvent.RELEASE, 1.0)
+        assert len(rrc.history) == 2
+        assert rrc.history[0].event is RrcEvent.SETUP
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RrcConnection(inactivity_timeout_s=0)
+
+
+class TestTokenBucket:
+    def test_admits_within_rate(self):
+        bucket = TokenBucket(rate_bytes_s=1000.0, burst_bytes=1000.0)
+        assert bucket.admit(500, 0.0)
+        assert bucket.admit(500, 0.0)
+        assert not bucket.admit(500, 0.0)  # bucket empty
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_bytes_s=1000.0, burst_bytes=1000.0)
+        bucket.admit(1000, 0.0)
+        assert not bucket.admit(1000, 0.5)  # only 500 refilled
+        assert bucket.admit(1000, 1.5)
+
+    def test_burst_capped(self):
+        bucket = TokenBucket(rate_bytes_s=1000.0, burst_bytes=1000.0)
+        assert bucket.available_tokens(100.0) == 1000.0
+
+    def test_time_backwards_rejected(self):
+        bucket = TokenBucket(1000.0, 1000.0)
+        bucket.admit(1, 5.0)
+        with pytest.raises(ValueError):
+            bucket.admit(1, 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 100.0)
+        bucket = TokenBucket(10.0, 10.0)
+        with pytest.raises(ValueError):
+            bucket.admit(-1, 0.0)
+
+
+class TestQosShaper:
+    def test_shapes_to_configured_rate(self):
+        shaper = QosShaper(QosState(max_bitrate_down_kbps=512))
+        achieved = shaper.achievable_throughput_kbps("down", 5.0)
+        # Sustained rate plus the initial one-second burst allowance
+        # amortised over the window: 512 * (1 + 1/5) at most.
+        assert 512 <= achieved <= 512 * 1.25
+
+    def test_throttle_reconfiguration_bites(self):
+        """The paper's 128 Kbps throttle actually slows the session."""
+        shaper = QosShaper(QosState(max_bitrate_down_kbps=100_000))
+        fast = shaper.achievable_throughput_kbps("down", 2.0)
+        import dataclasses
+        shaper.reconfigure(dataclasses.replace(
+            shaper.qos, max_bitrate_down_kbps=128,
+            max_bitrate_up_kbps=128))
+        slow = shaper.achievable_throughput_kbps("down", 2.0)
+        assert slow < fast / 100
+        assert slow == pytest.approx(128, rel=0.5)
+
+    def test_counters(self):
+        shaper = QosShaper(QosState(max_bitrate_up_kbps=8))  # 1 kB/s
+        assert shaper.admit_uplink(1000, 0.0)
+        assert not shaper.admit_uplink(1500, 0.1)
+        assert shaper.uplink.admitted == 1
+        assert shaper.uplink.dropped == 1
+        assert 0 < shaper.uplink.drop_ratio < 1
+
+    def test_directions_independent(self):
+        shaper = QosShaper(QosState(max_bitrate_up_kbps=8,
+                                    max_bitrate_down_kbps=8000))
+        assert shaper.admit_downlink(100_000, 0.0) or True
+        assert shaper.admit_uplink(1000, 0.0)
+
+
+class TestEnforcingUpf:
+    def make_upf(self, kbps=8):
+        from repro.fiveg.nf import Upf
+        upf = Upf("edge", enforce_qos=True)
+        upf.install_rule(1, "2001:db8::1",
+                         QosState(max_bitrate_up_kbps=kbps,
+                                  max_bitrate_down_kbps=kbps))
+        return upf
+
+    def test_enforcement_drops_over_rate_traffic(self):
+        upf = self.make_upf(kbps=8)  # 1 kB/s, 1.5 kB burst floor
+        assert upf.forward_uplink(1, 1500, now_s=0.0)
+        assert not upf.forward_uplink(1, 1500, now_s=0.01)
+        assert upf.packets_dropped == 1
+
+    def test_no_timestamp_skips_shaping(self):
+        """Legacy call sites without clocks keep working unshaped."""
+        upf = self.make_upf(kbps=8)
+        for _ in range(5):
+            assert upf.forward_uplink(1, 1500)
+
+    def test_home_pushed_throttle_applies(self):
+        """S4.4: the home's session modification reconfigures shaping."""
+        upf = self.make_upf(kbps=100_000)
+        assert upf.forward_downlink("2001:db8::1", 100_000, now_s=0.0)
+        upf.update_qos(1, QosState(max_bitrate_up_kbps=128,
+                                   max_bitrate_down_kbps=128))
+        # 100 kB exceeds a 128 Kbps bucket's burst: dropped.
+        assert not upf.forward_downlink("2001:db8::1", 100_000,
+                                        now_s=1.0)
+
+    def test_update_qos_unknown_tunnel(self):
+        upf = self.make_upf()
+        with pytest.raises(KeyError):
+            upf.update_qos(99, QosState())
+
+    def test_non_enforcing_upf_has_no_shaper(self):
+        from repro.fiveg.nf import Upf
+        upf = Upf("plain")
+        entry = upf.install_rule(1, "2001:db8::2", QosState())
+        assert entry.shaper is None
+
+
+class TestPaging:
+    def test_occasions_spread_by_identity(self):
+        offsets = {occasion_for(suffix).offset_s
+                   for suffix in range(16)}
+        assert len(offsets) == 4  # OCCASIONS_PER_CYCLE buckets
+
+    def test_next_after(self):
+        occasion = occasion_for(1)
+        first = occasion.next_after(0.0)
+        assert first >= 0.0
+        later = occasion.next_after(first + 0.001)
+        assert later == pytest.approx(first + DEFAULT_DRX_CYCLE_S)
+
+    def test_negative_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            occasion_for(-1)
+
+    def test_transaction_answers_at_occasion(self):
+        txn = PagingTransaction(ue_suffix=5)
+        answered = txn.page(0.0, ue_reachable=True)
+        assert answered is not None
+        assert answered >= 0.0
+        assert txn.attempts == 1
+
+    def test_unreachable_ue_unanswered(self):
+        txn = PagingTransaction(ue_suffix=5)
+        assert txn.page(0.0, ue_reachable=False) is None
+
+    def test_geospatial_paging_cheaper_than_tracking_area(self):
+        """SpaceCore pages one footprint; legacy pages a whole area."""
+        constellation = starlink()
+        grid = GeospatialCellGrid(constellation)
+        legacy = legacy_tracking_area_cost(constellation)
+        spacecore = geospatial_cell_cost(grid)
+        assert (spacecore.transmitting_satellites
+                < legacy.transmitting_satellites / 4)
+        assert spacecore.paged_area_km2 < legacy.paged_area_km2

@@ -1,0 +1,127 @@
+"""Tests for sensitivity analysis and contact plans."""
+
+import pytest
+
+from repro.experiments import (
+    by_parameter,
+    constellation_scaling,
+    sensitivity_sweep,
+    worst_case_reduction,
+)
+from repro.geo import GeospatialCellGrid
+from repro.orbits import IdealPropagator, default_ground_stations, starlink
+from repro.topology import (
+    GridTopology,
+    cell_coverage_plan,
+    gateway_contact_plan,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def sensitivity_points():
+    return sensitivity_sweep(starlink())
+
+
+class TestSensitivity:
+    def test_sweep_covers_three_parameters(self, sensitivity_points):
+        grouped = by_parameter(sensitivity_points)
+        assert set(grouped) == {"mean_hops", "gateways", "capacity"}
+
+    def test_conclusion_robust(self, sensitivity_points):
+        """Across every perturbation SpaceCore keeps a large margin."""
+        assert worst_case_reduction(sensitivity_points) > 5.0
+
+    def test_more_hops_bigger_reduction(self, sensitivity_points):
+        hops_points = sorted(by_parameter(sensitivity_points)
+                             ["mean_hops"], key=lambda p: p.value)
+        reductions = [p.reduction_vs_ntn for p in hops_points]
+        assert reductions == sorted(reductions)
+
+    def test_capacity_invariance(self, sensitivity_points):
+        """Both loads scale linearly in capacity: the ratio holds."""
+        cap_points = by_parameter(sensitivity_points)["capacity"]
+        values = [p.reduction_vs_ntn for p in cap_points]
+        assert max(values) / min(values) < 1.5
+
+
+class TestScaling:
+    def test_denser_shells_bigger_win(self):
+        points = constellation_scaling(sizes=((6, 11), (36, 20),
+                                              (72, 22)))
+        assert points[0].total_satellites < points[-1].total_satellites
+        assert (points[-1].reduction_vs_ntn
+                > points[0].reduction_vs_ntn)
+
+    def test_all_sizes_favor_spacecore(self):
+        points = constellation_scaling(sizes=((6, 11), (18, 20)))
+        for point in points:
+            assert point.reduction_vs_ntn > 2.0
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return GridTopology(IdealPropagator(starlink()),
+                        default_ground_stations())
+
+
+class TestContactPlans:
+    def test_gateway_plan_structure(self, topology):
+        station = topology.ground_stations[0]
+        plan = gateway_contact_plan(topology, station, 0.0, 1800.0,
+                                    step_s=30.0)
+        assert plan, "a mid-latitude gateway is never uncovered"
+        for contact in plan:
+            assert contact.end_s > contact.start_s
+            assert 0 <= contact.satellite < 1584
+        # Contacts are time-ordered and non-overlapping.
+        for a, b in zip(plan, plan[1:]):
+            assert a.end_s <= b.start_s
+
+    def test_gateway_hands_over_repeatedly(self, topology):
+        """The Fig. 11 effect seen from the ground: servers rotate."""
+        station = topology.ground_stations[0]
+        plan = gateway_contact_plan(topology, station, 0.0, 1800.0,
+                                    step_s=30.0)
+        stats = summarize(plan, 0.0, 1800.0)
+        assert stats.contact_count >= 3
+        assert stats.distinct_satellites >= 3
+        assert stats.coverage_fraction > 0.95
+
+    def test_contact_durations_bounded_by_dwell(self, topology):
+        """Closest-server contacts are shorter than the full pass:
+        with Starlink's dense multi-coverage a *different* satellite
+        becomes closest well before the current one sets."""
+        from repro.orbits import mean_dwell_time_s
+        station = topology.ground_stations[0]
+        plan = gateway_contact_plan(topology, station, 0.0, 3600.0,
+                                    step_s=15.0)
+        stats = summarize(plan, 0.0, 3600.0)
+        dwell = mean_dwell_time_s(topology.constellation)
+        assert 15.0 < stats.mean_duration_s <= dwell * 1.2
+
+    def test_cell_plan_rotates_servers(self, topology):
+        grid = GeospatialCellGrid(topology.constellation)
+        cell = grid.cell_of_degrees(39.9, 116.4)
+        plan = cell_coverage_plan(topology, grid, cell, 0.0, 1200.0,
+                                  step_s=30.0)
+        stats = summarize(plan, 0.0, 1200.0)
+        assert stats.distinct_satellites >= 2
+        assert stats.coverage_fraction > 0.9
+
+    def test_failed_satellite_leaves_gap(self, topology):
+        grid = GeospatialCellGrid(topology.constellation)
+        cell = grid.cell_of_degrees(39.9, 116.4)
+        plan = cell_coverage_plan(topology, grid, cell, 0.0, 600.0,
+                                  step_s=30.0)
+        victim = plan[0].satellite
+        local = GridTopology(topology.propagator, [])
+        local.fail_satellite(victim)
+        degraded = cell_coverage_plan(local, grid, cell, 0.0, 600.0,
+                                      step_s=30.0)
+        assert victim not in {c.satellite for c in degraded}
+
+    def test_validation(self, topology):
+        station = topology.ground_stations[0]
+        with pytest.raises(ValueError):
+            gateway_contact_plan(topology, station, 10.0, 5.0)

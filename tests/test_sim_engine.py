@@ -1,0 +1,161 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_during_event(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, fired.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        keep.cancel()
+        assert sim.pending() == 0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(10.0, fired.append, "out")
+        sim.run(until=5.0)
+        assert fired == ["in"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["in", "out"]
+
+    def test_run_until_advances_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_first_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(10.0, lambda: ticks.append(sim.now),
+                              first_delay=0.5)
+        sim.run(until=21.0)
+        assert ticks == [0.5, 10.5, 20.5]
+
+    def test_periodic_cancel_stops_chain(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.5)
+        handle.cancel()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_periodic_with_jitter(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(1.0, lambda: ticks.append(sim.now),
+                              jitter=lambda: 0.25)
+        sim.run(until=4.0)
+        assert ticks == pytest.approx([1.0, 2.25, 3.5])
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_periodic(0.0, lambda: None)

@@ -1,0 +1,264 @@
+"""Tests for the +Grid topology and Algorithm 1 geospatial routing."""
+
+import math
+import random
+
+import pytest
+
+from repro.orbits import (
+    IdealPropagator,
+    J4Propagator,
+    default_ground_stations,
+    iridium,
+    oneweb,
+    serving_satellite,
+    starlink,
+)
+from repro.topology import (
+    DijkstraRouter,
+    GeospatialRouter,
+    GridTopology,
+    Link,
+    path_stretch,
+    propagation_delay_s,
+)
+
+BEIJING = (math.radians(39.9), math.radians(116.4))
+NEW_YORK = (math.radians(40.7), math.radians(-74.0))
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return GridTopology(IdealPropagator(starlink()),
+                        default_ground_stations())
+
+
+@pytest.fixture(scope="module")
+def router(topo):
+    return GeospatialRouter(topo)
+
+
+class TestLinks:
+    def test_propagation_delay(self):
+        # 2998 km at light speed is about 10 ms.
+        assert propagation_delay_s(2997.92458) == pytest.approx(0.01)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay_s(-1.0)
+
+    def test_link_other_endpoint(self):
+        link = Link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(ValueError):
+            link.other("c")
+
+    def test_link_failure_cycle(self):
+        link = Link("a", "b")
+        assert link.delivers()
+        link.fail()
+        assert not link.delivers()
+        link.recover()
+        assert link.delivers()
+
+    def test_frame_error_rate(self):
+        link = Link("a", "b", frame_error_rate=1.0)
+        assert not link.delivers(random.Random(0))
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", kind="fiber")
+        with pytest.raises(ValueError):
+            Link("a", "b", frame_error_rate=1.5)
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_mbps=0)
+
+    def test_transmission_delay(self):
+        link = Link("a", "b", bandwidth_mbps=8.0)
+        assert link.transmission_delay_s(1000) == pytest.approx(1e-3)
+
+
+class TestGridTopology:
+    def test_four_isl_neighbors(self, topo):
+        assert len(topo.isl_neighbors(100)) == 4
+
+    def test_neighbors_are_grid_adjacent(self, topo):
+        c = topo.constellation
+        plane, slot = c.plane_slot(500)
+        nbrs = set(topo.isl_neighbors(500))
+        assert c.sat_index(plane, slot + 1) in nbrs
+        assert c.sat_index(plane + 1, slot) in nbrs
+
+    def test_isl_distance_symmetric(self, topo):
+        a, b = 100, topo.isl_neighbors(100)[0]
+        assert topo.isl_distance_km(a, b, 0.0) == pytest.approx(
+            topo.isl_distance_km(b, a, 0.0))
+
+    def test_intra_plane_spacing_constant(self, topo):
+        c = topo.constellation
+        plane, slot = c.plane_slot(300)
+        up, _ = c.intra_plane_neighbors(plane, slot)
+        d0 = topo.isl_distance_km(300, up, 0.0)
+        d1 = topo.isl_distance_km(300, up, 500.0)
+        assert d0 == pytest.approx(d1, rel=1e-6)
+
+    def test_failed_satellite_removed(self):
+        topo = GridTopology(IdealPropagator(starlink()), [])
+        topo.fail_satellite(100)
+        assert not topo.is_up(100)
+        for nbr_list_owner in topo.isl_neighbors(101), topo.isl_neighbors(99):
+            assert 100 not in nbr_list_owner
+        topo.recover_satellite(100)
+        assert topo.is_up(100)
+
+    def test_failed_isl_removed(self):
+        topo = GridTopology(IdealPropagator(starlink()), [])
+        nbr = topo.isl_neighbors(50)[0]
+        topo.fail_isl(50, nbr)
+        assert nbr not in topo.isl_neighbors(50)
+        assert 50 not in topo.isl_neighbors(nbr)
+        topo.recover_isl(50, nbr)
+        assert nbr in topo.isl_neighbors(50)
+
+    def test_station_access_satellite(self, topo):
+        gs = topo.ground_stations[0]
+        sat = topo.station_access_satellite(gs, 0.0)
+        assert sat >= 0
+
+    def test_snapshot_graph_connected(self, topo):
+        import networkx as nx
+        graph = topo.snapshot_graph(0.0, include_ground=False)
+        assert graph.number_of_nodes() == 1584
+        assert graph.number_of_edges() == 2 * 1584  # 4 ISLs each, halved
+        assert nx.is_connected(graph)
+
+    def test_snapshot_graph_includes_ground(self, topo):
+        graph = topo.snapshot_graph(0.0, include_ground=True)
+        names = {gs.name for gs in topo.ground_stations}
+        present = names.intersection(graph.nodes)
+        assert len(present) > len(names) * 0.6
+
+    def test_gsl_and_uplink_delay_positive(self, topo):
+        gs = topo.ground_stations[0]
+        sat = topo.station_access_satellite(gs, 0.0)
+        assert topo.gsl_delay_s(sat, gs, 0.0) > 0
+        assert topo.uplink_delay_s(sat, *BEIJING, 0.0) > 0
+
+
+class TestAlgorithm1:
+    def test_beijing_to_new_york_delivers(self, router, topo):
+        src = serving_satellite(topo.propagator, 0.0, *BEIJING)
+        result = router.route(src, *NEW_YORK, 0.0)
+        assert result.delivered
+        # One-way delay between Beijing and New York over LEO ISLs is
+        # a few tens of milliseconds (Fig. 18b plots 40-110 ms).
+        assert 0.025 < result.delay_s < 0.150
+        assert result.hops >= 10
+
+    def test_delivery_to_local_destination_is_zero_hop(self, router, topo):
+        src = serving_satellite(topo.propagator, 0.0, *BEIJING)
+        near = (BEIJING[0] + 0.001, BEIJING[1] + 0.001)
+        result = router.route(src, *near, 0.0)
+        assert result.delivered
+        assert result.hops == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_pairs_always_deliver(self, router, topo, seed):
+        """Fig. 18b: 'Algorithm 1 guarantees traffic delivery'."""
+        rng = random.Random(seed)
+        for _ in range(25):
+            lat1 = math.radians(rng.uniform(-50, 50))
+            lon1 = math.radians(rng.uniform(-180, 180))
+            lat2 = math.radians(rng.uniform(-50, 50))
+            lon2 = math.radians(rng.uniform(-180, 180))
+            src = serving_satellite(topo.propagator, 0.0, lat1, lon1)
+            if src < 0:
+                continue
+            assert router.route(src, lat2, lon2, 0.0).delivered
+
+    def test_delivery_at_later_times(self, router, topo):
+        for t in (0.0, 900.0, 3600.0, 7200.0):
+            src = serving_satellite(topo.propagator, t, *BEIJING)
+            assert router.route(src, *NEW_YORK, t).delivered
+
+    def test_stretch_vs_dijkstra_small(self, router, topo):
+        """Stateless routing pays only a small detour over optimal."""
+        src = serving_satellite(topo.propagator, 0.0, *BEIJING)
+        dst = serving_satellite(topo.propagator, 0.0, *NEW_YORK)
+        geo = router.route(src, *NEW_YORK, 0.0)
+        base = DijkstraRouter(topo).route(src, dst, 0.0)
+        assert base.delivered
+        assert path_stretch(geo, base) < 1.6
+
+    def test_j4_orbits_still_deliver(self):
+        """Fig. 18b: runtime coordinates self-calibrate perturbations."""
+        topo = GridTopology(J4Propagator(starlink()), [])
+        router = GeospatialRouter(topo)
+        for t in (0.0, 3 * 3600.0, 12 * 3600.0):
+            src = serving_satellite(topo.propagator, t, *BEIJING)
+            result = router.route(src, *NEW_YORK, t)
+            assert result.delivered
+            assert result.delay_s < 0.2
+
+    def test_ideal_vs_j4_delay_similar(self):
+        """Fig. 18b: path delays similar under ideal and J4 orbits."""
+        t = 4 * 3600.0
+        delays = {}
+        for kind, prop in (("ideal", IdealPropagator(starlink())),
+                           ("j4", J4Propagator(starlink()))):
+            topo = GridTopology(prop, [])
+            router = GeospatialRouter(topo)
+            src = serving_satellite(prop, t, *BEIJING)
+            delays[kind] = router.route(src, *NEW_YORK, t).delay_s
+        assert delays["j4"] == pytest.approx(delays["ideal"], abs=0.030)
+
+    def test_routes_around_failed_satellite(self, topo):
+        """Deflection keeps delivering when a transit satellite dies."""
+        local = GridTopology(IdealPropagator(starlink()), [])
+        router = GeospatialRouter(local)
+        src = serving_satellite(local.propagator, 0.0, *BEIJING)
+        healthy = router.route(src, *NEW_YORK, 0.0)
+        assert healthy.delivered and healthy.hops > 2
+        # Kill a mid-path satellite.
+        victim = healthy.path[len(healthy.path) // 2]
+        local.fail_satellite(victim)
+        rerouted = router.route(src, *NEW_YORK, 0.0)
+        assert rerouted.delivered
+        assert victim not in rerouted.path
+
+    def test_hops_property(self, router, topo):
+        src = serving_satellite(topo.propagator, 0.0, *BEIJING)
+        result = router.route(src, *NEW_YORK, 0.0)
+        assert result.hops == len(result.path) - 1
+
+    def test_path_stretch_requires_delivery(self):
+        from repro.topology.routing import RouteResult
+        with pytest.raises(ValueError):
+            path_stretch(RouteResult(False), RouteResult(True))
+
+
+class TestStarConstellations:
+    @pytest.mark.parametrize("factory", [oneweb, iridium])
+    def test_polar_shells_deliver(self, factory):
+        c = factory()
+        topo = GridTopology(IdealPropagator(c), [])
+        router = GeospatialRouter(topo, max_hops=512)
+        rng = random.Random(9)
+        delivered = 0
+        attempts = 0
+        for _ in range(20):
+            lat1 = math.radians(rng.uniform(-60, 60))
+            lon1 = math.radians(rng.uniform(-180, 180))
+            lat2 = math.radians(rng.uniform(-60, 60))
+            lon2 = math.radians(rng.uniform(-180, 180))
+            src = serving_satellite(topo.propagator, 0.0, lat1, lon1)
+            if src < 0:
+                continue
+            attempts += 1
+            delivered += router.route(src, lat2, lon2, 0.0).delivered
+        assert attempts > 0
+        # Star constellations have the counter-rotating seam; the paper
+        # itself reports occasional Iridium detours.  Require a high
+        # delivery rate rather than perfection.
+        assert delivered / attempts >= 0.9
