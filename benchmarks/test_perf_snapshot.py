@@ -1,0 +1,335 @@
+"""Geometry hot-path micro-benchmark: scalar baseline vs snapshot layer.
+
+Seeds the perf trajectory for the routing/coverage hot path.  Three
+workloads, each timed against a faithful replica of the pre-snapshot
+scalar code:
+
+* ``pass_schedule`` over a Starlink UE (one serving-satellite query
+  per 5 s timestep vs one vectorised time-grid kernel);
+* ``coverage_statistics`` at one latitude (per-step visibility scan vs
+  the time-grid kernel);
+* a 1k-packet ``GeospatialRouter`` sweep at fixed t (per-hop
+  ``propagator.state()`` trigonometry vs indexed snapshot reads).
+
+Emits ``BENCH_geometry.json`` at the repo root with queries/sec and
+speedups, and asserts the acceptance floors (>= 10x geometry sweeps,
+>= 3x routing).
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.orbits import make_propagator, starlink
+from repro.orbits.coordinates import central_angle, distance3, wrap_signed
+from repro.orbits.coverage import (
+    coverage_half_angle,
+    pass_schedule,
+)
+from repro.orbits.snapshot import clear_snapshot_cache
+from repro.orbits.visibility import coverage_statistics
+from repro.topology.grid import GridTopology
+from repro.topology.links import propagation_delay_s
+from repro.topology.routing import GeospatialRouter, RouteResult
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_geometry.json"
+
+BEIJING = (math.radians(39.9), math.radians(116.4))
+
+PASS_WINDOW_S = 5700.0
+PASS_STEP_S = 5.0
+COVERAGE_DURATION_S = 5700.0
+COVERAGE_STEP_S = 30.0
+ROUTING_PACKETS = 1000
+ROUTING_T = 300.0
+
+
+# ---------------------------------------------------------------------------
+# Pre-snapshot scalar baselines (faithful replicas of the seed code)
+# ---------------------------------------------------------------------------
+
+def _scalar_serving(propagator, t, ue_lat, ue_lon, min_elevation_deg=None):
+    c = propagator.constellation
+    if min_elevation_deg is None:
+        min_elevation_deg = c.min_elevation_deg
+    theta = coverage_half_angle(c.altitude_km, min_elevation_deg)
+    subs = propagator.subpoints(t)
+    dlat = subs[:, 0] - ue_lat
+    dlon = subs[:, 1] - ue_lon
+    h = (np.sin(dlat / 2.0) ** 2
+         + np.cos(subs[:, 0]) * math.cos(ue_lat) * np.sin(dlon / 2.0) ** 2)
+    ang = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+    best = int(np.argmin(ang))
+    if ang[best] > theta:
+        return -1
+    return best
+
+
+def _scalar_visible_count(propagator, t, ue_lat, ue_lon):
+    c = propagator.constellation
+    theta = coverage_half_angle(c.altitude_km, c.min_elevation_deg)
+    subs = propagator.subpoints(t)
+    dlat = subs[:, 0] - ue_lat
+    dlon = subs[:, 1] - ue_lon
+    h = (np.sin(dlat / 2.0) ** 2
+         + np.cos(subs[:, 0]) * math.cos(ue_lat) * np.sin(dlon / 2.0) ** 2)
+    ang = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+    return int((ang <= theta).sum())
+
+
+def _scalar_pass_schedule(propagator, ue_lat, ue_lon, t_start, t_end,
+                          step_s):
+    passes = []
+    current_sat = -2
+    run_start = t_start
+    t = t_start
+    while t <= t_end:
+        sat = _scalar_serving(propagator, t, ue_lat, ue_lon)
+        if sat != current_sat:
+            if current_sat >= 0:
+                passes.append((run_start, t, current_sat))
+            current_sat = sat
+            run_start = t
+        t += step_s
+    if current_sat >= 0:
+        passes.append((run_start, min(t, t_end), current_sat))
+    return passes
+
+
+def _scalar_coverage_statistics(constellation, lat_deg, duration_s, step_s):
+    from repro.orbits.propagator import IdealPropagator
+    propagator = IdealPropagator(constellation)
+    lat = math.radians(lat_deg)
+    lon = 0.0
+    covered = 0
+    visible_total = 0
+    samples = 0
+    gap = 0.0
+    max_gap = 0.0
+    t = 0.0
+    while t <= duration_s:
+        count = _scalar_visible_count(propagator, t, lat, lon)
+        samples += 1
+        visible_total += count
+        if count > 0:
+            covered += 1
+            gap = 0.0
+        else:
+            gap += step_s
+            max_gap = max(max_gap, gap)
+        t += step_s
+    return covered / samples, visible_total / samples, max_gap
+
+
+class _ScalarRouter(GeospatialRouter):
+    """Pre-snapshot Algorithm 1: per-hop propagator.state() trig."""
+
+    def _sat_position(self, sat, t):
+        plane, slot = self.topology.constellation.plane_slot(sat)
+        return self.topology.propagator.state(plane, slot,
+                                              t).position_ecef()
+
+    def covers(self, sat, dest_lat, dest_lon, t):
+        plane, slot = self.topology.constellation.plane_slot(sat)
+        sat_lat, sat_lon = self.topology.propagator.state(
+            plane, slot, t).subpoint()
+        return (central_angle(sat_lat, sat_lon, dest_lat, dest_lon)
+                <= self.coverage_angle)
+
+    def _hop_offsets(self, sat, dest_lat, dest_lon, t):
+        c = self.topology.constellation
+        plane, slot = c.plane_slot(sat)
+        state = self.topology.propagator.state(plane, slot, t)
+        alpha_s = state.raan_ecef
+        gamma_s = state.arg_latitude
+        best = None
+        best_metric = math.inf
+        for alpha_d, gamma_d in self.system.both_representations(
+                dest_lat, dest_lon):
+            da = wrap_signed(alpha_d - alpha_s) / c.delta_raan
+            dg = wrap_signed(gamma_d - gamma_s) / c.delta_phase
+            metric = abs(da) + abs(dg)
+            if metric < best_metric:
+                best_metric = metric
+                best = (da, dg)
+        return best
+
+    def next_hop(self, sat, dest_lat, dest_lon, t):
+        da, dg = self._hop_offsets(sat, dest_lat, dest_lon, t)
+        if abs(da) < 0.5 and abs(dg) < 0.5:
+            return None
+        neighbors = self.topology.directional_neighbors(sat)
+        if abs(da) > abs(dg):
+            direction = "right" if da > 0 else "left"
+        else:
+            direction = "up" if dg > 0 else "down"
+        return neighbors[direction]
+
+    def _nearly_covers(self, sat, dest_lat, dest_lon, t):
+        plane, slot = self.topology.constellation.plane_slot(sat)
+        sat_lat, sat_lon = self.topology.propagator.state(
+            plane, slot, t).subpoint()
+        return (central_angle(sat_lat, sat_lon, dest_lat, dest_lon)
+                <= self.coverage_angle * self.degraded_slack)
+
+    def _best_live_neighbor(self, sat, dest_lat, dest_lon, t, visited):
+        best = None
+        best_metric = math.inf
+        for nbr in self.topology.isl_neighbors(sat):
+            if nbr in visited:
+                continue
+            da, dg = self._hop_offsets(nbr, dest_lat, dest_lon, t)
+            metric = abs(da) + abs(dg)
+            if metric < best_metric:
+                best_metric = metric
+                best = nbr
+        return best
+
+    def route(self, src_sat, dest_lat, dest_lon, t):
+        topo = self.topology
+        path = [src_sat]
+        visited = {src_sat}
+        delay = 0.0
+        distance = 0.0
+        current = src_sat
+        for _ in range(self.max_hops):
+            if self.covers(current, dest_lat, dest_lon, t):
+                return RouteResult(True, path, delay, distance)
+            preferred = self.next_hop(current, dest_lat, dest_lon, t)
+            if preferred is None:
+                if self._nearly_covers(current, dest_lat, dest_lon, t):
+                    return RouteResult(True, path, delay, distance,
+                                       degraded=True)
+                preferred = self._best_live_neighbor(current, dest_lat,
+                                                     dest_lon, t, visited)
+            if (preferred is None or preferred in visited
+                    or not topo.isl_up(current, preferred)):
+                preferred = self._best_live_neighbor(current, dest_lat,
+                                                     dest_lon, t, visited)
+            if preferred is None:
+                return RouteResult(False, path, delay, distance)
+            hop_km = distance3(self._sat_position(current, t),
+                               self._sat_position(preferred, t))
+            delay += propagation_delay_s(hop_km)
+            distance += hop_km
+            current = preferred
+            path.append(current)
+            visited.add(current)
+        return RouteResult(False, path, delay, distance)
+
+
+# ---------------------------------------------------------------------------
+# Timing harness
+# ---------------------------------------------------------------------------
+
+def _best_of(fn, repeats=3):
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _routing_destinations(count, seed=11):
+    rng = np.random.default_rng(seed)
+    lats = np.radians(rng.uniform(-52.0, 52.0, count))
+    lons = np.radians(rng.uniform(-180.0, 180.0, count))
+    return list(zip(map(float, lats), map(float, lons)))
+
+
+def test_geometry_hot_path_speedups():
+    constellation = starlink()
+    propagator = make_propagator(constellation, "ideal")
+    results = {}
+
+    # -- pass_schedule -------------------------------------------------------
+    timesteps = len(np.arange(0.0, PASS_WINDOW_S + PASS_STEP_S, PASS_STEP_S))
+    scalar_s, scalar_passes = _best_of(
+        lambda: _scalar_pass_schedule(propagator, *BEIJING, 0.0,
+                                      PASS_WINDOW_S, PASS_STEP_S),
+        repeats=2)
+    clear_snapshot_cache()
+    snap_s, snap_passes = _best_of(
+        lambda: pass_schedule(propagator, *BEIJING, 0.0, PASS_WINDOW_S,
+                              step_s=PASS_STEP_S))
+    assert snap_passes == scalar_passes
+    results["pass_schedule"] = {
+        "timesteps": timesteps,
+        "scalar_s": scalar_s,
+        "snapshot_s": snap_s,
+        "speedup": scalar_s / snap_s,
+        "scalar_queries_per_s": timesteps / scalar_s,
+        "snapshot_queries_per_s": timesteps / snap_s,
+    }
+
+    # -- coverage_statistics -------------------------------------------------
+    samples = len(np.arange(0.0, COVERAGE_DURATION_S + COVERAGE_STEP_S,
+                            COVERAGE_STEP_S))
+    scalar_s, scalar_stats = _best_of(
+        lambda: _scalar_coverage_statistics(constellation, 45.0,
+                                            COVERAGE_DURATION_S,
+                                            COVERAGE_STEP_S),
+        repeats=2)
+    clear_snapshot_cache()
+    snap_s, snap_stats = _best_of(
+        lambda: coverage_statistics(constellation, 45.0,
+                                    duration_s=COVERAGE_DURATION_S,
+                                    step_s=COVERAGE_STEP_S))
+    assert snap_stats.coverage_fraction == scalar_stats[0]
+    assert snap_stats.mean_visible == scalar_stats[1]
+    assert snap_stats.max_gap_s == scalar_stats[2]
+    results["coverage_statistics"] = {
+        "timesteps": samples,
+        "scalar_s": scalar_s,
+        "snapshot_s": snap_s,
+        "speedup": scalar_s / snap_s,
+        "scalar_queries_per_s": samples / scalar_s,
+        "snapshot_queries_per_s": samples / snap_s,
+    }
+
+    # -- 1k-packet routing sweep at fixed t ---------------------------------
+    topology = GridTopology(propagator, [])
+    destinations = _routing_destinations(ROUTING_PACKETS)
+    src = _scalar_serving(propagator, ROUTING_T, *BEIJING)
+    assert src >= 0
+
+    def scalar_sweep():
+        router = _ScalarRouter(topology, max_hops=512)
+        return [router.route(src, lat, lon, ROUTING_T)
+                for lat, lon in destinations]
+
+    def snapshot_sweep():
+        clear_snapshot_cache()
+        router = GeospatialRouter(topology, max_hops=512)
+        return [router.route(src, lat, lon, ROUTING_T)
+                for lat, lon in destinations]
+
+    scalar_s, scalar_routes = _best_of(scalar_sweep, repeats=2)
+    snap_s, snap_routes = _best_of(snapshot_sweep)
+    assert ([r.path for r in snap_routes]
+            == [r.path for r in scalar_routes])
+    delivered = sum(1 for r in snap_routes if r.delivered)
+    results["routing_sweep"] = {
+        "packets": ROUTING_PACKETS,
+        "delivered": delivered,
+        "scalar_s": scalar_s,
+        "snapshot_s": snap_s,
+        "speedup": scalar_s / snap_s,
+        "scalar_packets_per_s": ROUTING_PACKETS / scalar_s,
+        "snapshot_packets_per_s": ROUTING_PACKETS / snap_s,
+    }
+
+    results["constellation"] = constellation.name
+    results["total_satellites"] = constellation.total_satellites
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+
+    # Acceptance floors for this PR's perf trajectory.
+    assert results["pass_schedule"]["speedup"] >= 10.0
+    assert results["coverage_statistics"]["speedup"] >= 10.0
+    assert results["routing_sweep"]["speedup"] >= 3.0

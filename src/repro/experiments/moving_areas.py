@@ -15,8 +15,8 @@ from typing import List, Optional, Tuple
 
 from ..geo.cells import GeospatialCellGrid
 from ..orbits.constellation import Constellation
-from ..orbits.coverage import serving_satellite
 from ..orbits.propagator import IdealPropagator
+from ..orbits.snapshot import sample_times, serving_over_times
 
 
 @dataclass(frozen=True)
@@ -35,18 +35,20 @@ def logical_area_churn(constellation: Constellation, lat_deg: float,
     """Churn when the tracking area is the serving satellite's."""
     propagator = IdealPropagator(constellation)
     lat, lon = math.radians(lat_deg), math.radians(lon_deg)
+    # The whole serving-satellite timeline comes from one vectorised
+    # time-grid sweep; only the churn bookkeeping stays in Python.
+    servers = serving_over_times(
+        propagator, sample_times(0.0, duration_s, step_s), lat, lon)
     seen = set()
     changes = 0
     current: Optional[int] = None
-    t = 0.0
-    while t <= duration_s:
-        sat = serving_satellite(propagator, t, lat, lon)
+    for sat in servers:
+        sat = int(sat)
         if sat >= 0:
             seen.add(sat)
             if current is not None and sat != current:
                 changes += 1
             current = sat
-        t += step_s
     return ServiceAreaChurn("logical (satellite-bound)", len(seen),
                             changes, changes * 3600.0 / duration_s)
 

@@ -21,6 +21,7 @@ from typing import List, Tuple
 from ..orbits.constellation import Constellation
 from ..orbits.coverage import serving_satellite
 from ..orbits.propagator import make_propagator
+from ..orbits.snapshot import snapshot_for
 from ..topology.grid import GridTopology
 from ..topology.routing import GeospatialRouter
 
@@ -69,7 +70,10 @@ def relay_trials(constellation: Constellation, propagator_kind: str,
     trials: List[RelayTrial] = []
     for i in range(samples):
         t = horizon_s * i / samples
-        src_sat = serving_satellite(propagator, t, *src)
+        # One snapshot per sample epoch serves both the source lookup
+        # and every hop decision of the routed packet.
+        snap = snapshot_for(propagator, t)
+        src_sat = snap.serving_satellite(*src)
         if src_sat < 0:
             trials.append(RelayTrial(t, propagator_kind, False, 0.0, 0))
             continue

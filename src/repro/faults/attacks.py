@@ -161,18 +161,13 @@ class JammingAttack:
 
     def affected_satellites(self, topology, t: float) -> List[int]:
         """Satellites whose links the jammer can currently disturb."""
-        import math
+        import numpy as np
 
-        from ..orbits.coordinates import central_angle
+        from ..orbits.snapshot import snapshot_for
         threshold = self.radius_km / 6371.0
-        subpoints = topology.propagator.subpoints(t)
-        hit = []
-        for sat in range(topology.constellation.total_satellites):
-            lat, lon = subpoints[sat]
-            if central_angle(self.lat, self.lon, float(lat),
-                             float(lon)) <= threshold:
-                hit.append(sat)
-        return hit
+        ang = snapshot_for(topology.propagator, t).central_angles(
+            self.lat, self.lon)
+        return [int(sat) for sat in np.nonzero(ang <= threshold)[0]]
 
     def apply(self, topology, t: float) -> int:
         """Take down every ISL touching an affected satellite.

@@ -36,6 +36,16 @@ from .propagator import (
     OrbitState,
     make_propagator,
 )
+from .snapshot import (
+    ConstellationSnapshot,
+    clear_snapshot_cache,
+    serving_over_times,
+    serving_satellites,
+    snapshot_cache_info,
+    snapshot_for,
+    visible_counts,
+    visible_counts_over_times,
+)
 from .visibility import (
     CoverageStatistics,
     coverage_by_latitude,
@@ -68,6 +78,14 @@ __all__ = [
     "J4Propagator",
     "OrbitState",
     "make_propagator",
+    "ConstellationSnapshot",
+    "snapshot_for",
+    "clear_snapshot_cache",
+    "snapshot_cache_info",
+    "serving_satellites",
+    "visible_counts",
+    "serving_over_times",
+    "visible_counts_over_times",
     "CoverageStatistics",
     "coverage_by_latitude",
     "coverage_statistics",

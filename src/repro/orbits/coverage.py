@@ -14,14 +14,13 @@ coverage figure (S3.2).
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from ..constants import EARTH_RADIUS_KM
 from .constellation import Constellation
 from .coordinates import central_angle
 from .propagator import IdealPropagator
+from .snapshot import sample_times, serving_over_times, snapshot_for
 
 
 def coverage_half_angle(altitude_km: float, min_elevation_deg: float) -> float:
@@ -69,7 +68,7 @@ def is_visible(sat_lat: float, sat_lon: float, ue_lat: float, ue_lon: float,
 
 
 def mean_dwell_time_s(constellation: Constellation,
-                      min_elevation_deg: float = None) -> float:
+                      min_elevation_deg: Optional[float] = None) -> float:
     """Mean single-satellite pass duration over a static user (s).
 
     A chord through a cap of half angle ``theta``, traversed at the
@@ -90,71 +89,55 @@ def mean_dwell_time_s(constellation: Constellation,
 
 def visible_satellites(propagator: IdealPropagator, t: float,
                        ue_lat: float, ue_lon: float,
-                       min_elevation_deg: float = None) -> List[int]:
+                       min_elevation_deg: Optional[float] = None
+                       ) -> List[int]:
     """Flat indices of all satellites covering ``(ue_lat, ue_lon)`` at t."""
-    c = propagator.constellation
-    if min_elevation_deg is None:
-        min_elevation_deg = c.min_elevation_deg
-    theta = coverage_half_angle(c.altitude_km, min_elevation_deg)
-    subs = propagator.subpoints(t)
-    dlat = subs[:, 0] - ue_lat
-    dlon = subs[:, 1] - ue_lon
-    h = (np.sin(dlat / 2.0) ** 2
-         + np.cos(subs[:, 0]) * math.cos(ue_lat) * np.sin(dlon / 2.0) ** 2)
-    ang = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
-    return list(np.nonzero(ang <= theta)[0])
+    return list(snapshot_for(propagator, t).visible_satellites(
+        ue_lat, ue_lon, min_elevation_deg))
 
 
 def serving_satellite(propagator: IdealPropagator, t: float,
                       ue_lat: float, ue_lon: float,
-                      min_elevation_deg: float = None) -> int:
+                      min_elevation_deg: Optional[float] = None) -> int:
     """The closest covering satellite, or -1 when none covers the UE."""
-    c = propagator.constellation
-    if min_elevation_deg is None:
-        min_elevation_deg = c.min_elevation_deg
-    theta = coverage_half_angle(c.altitude_km, min_elevation_deg)
-    subs = propagator.subpoints(t)
-    dlat = subs[:, 0] - ue_lat
-    dlon = subs[:, 1] - ue_lon
-    h = (np.sin(dlat / 2.0) ** 2
-         + np.cos(subs[:, 0]) * math.cos(ue_lat) * np.sin(dlon / 2.0) ** 2)
-    ang = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
-    best = int(np.argmin(ang))
-    if ang[best] > theta:
-        return -1
-    return best
+    return snapshot_for(propagator, t).serving_satellite(
+        ue_lat, ue_lon, min_elevation_deg)
 
 
 def pass_schedule(propagator: IdealPropagator, ue_lat: float, ue_lon: float,
                   t_start: float, t_end: float, step_s: float = 5.0,
-                  min_elevation_deg: float = None
+                  min_elevation_deg: Optional[float] = None
                   ) -> List[Tuple[float, float, int]]:
     """Serving-satellite passes over a static UE.
 
     Returns ``[(t_acquire, t_lose, sat_index), ...]`` covering
     ``[t_start, t_end]``, by sampling the best server every ``step_s``
-    seconds and merging runs.  Gaps (no coverage) are omitted.
+    seconds and merging runs.  Gaps (no coverage) are omitted.  The
+    whole (timesteps x satellites) sweep runs as one vectorised
+    time-grid kernel instead of a per-step constellation scan.
     """
+    times = sample_times(t_start, t_end, step_s)
+    servers = serving_over_times(propagator, times, ue_lat, ue_lon,
+                                 min_elevation_deg)
     passes: List[Tuple[float, float, int]] = []
     current_sat = -2
     run_start = t_start
-    t = t_start
-    while t <= t_end:
-        sat = serving_satellite(propagator, t, ue_lat, ue_lon,
-                                min_elevation_deg)
+    for i, sat in enumerate(servers):
+        sat = int(sat)
         if sat != current_sat:
             if current_sat >= 0:
-                passes.append((run_start, t, current_sat))
+                passes.append((run_start, times[i], current_sat))
             current_sat = sat
-            run_start = t
-        t += step_s
+            run_start = times[i]
     if current_sat >= 0:
-        passes.append((run_start, min(t, t_end), current_sat))
+        t_past_end = (times[-1] + step_s) if times else t_start
+        passes.append((run_start, min(t_past_end, t_end), current_sat))
     return passes
 
 
 def handover_rate_per_user(constellation: Constellation,
-                           min_elevation_deg: float = None) -> float:
+                           min_elevation_deg: Optional[float] = None
+                           ) -> float:
     """Expected serving-satellite changes per second for a static user.
 
     The inverse of the mean dwell time: each pass ends in exactly one

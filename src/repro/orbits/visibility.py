@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .constellation import Constellation
-from .coverage import visible_satellites
 from .propagator import IdealPropagator
+from .snapshot import sample_times, visible_counts_over_times
 
 
 @dataclass(frozen=True)
@@ -38,28 +38,32 @@ def coverage_statistics(constellation: Constellation, lat_deg: float,
                         step_s: float = 30.0,
                         min_elevation_deg: Optional[float] = None
                         ) -> CoverageStatistics:
-    """Sample visibility at a fixed point over ``duration_s``."""
+    """Sample visibility at a fixed point over ``duration_s``.
+
+    The whole (timesteps x satellites) visibility sweep is one
+    vectorised time-grid kernel; only the cheap gap bookkeeping stays
+    in Python.
+    """
     propagator = IdealPropagator(constellation)
     lat = math.radians(lat_deg)
     lon = math.radians(lon_deg)
+    times = sample_times(0.0, duration_s, step_s)
+    counts = visible_counts_over_times(propagator, times, lat, lon,
+                                       min_elevation_deg)
     covered_samples = 0
     visible_total = 0
     samples = 0
     gap = 0.0
     max_gap = 0.0
-    t = 0.0
-    while t <= duration_s:
-        count = len(visible_satellites(propagator, t, lat, lon,
-                                       min_elevation_deg))
+    for count in counts:
         samples += 1
-        visible_total += count
+        visible_total += int(count)
         if count > 0:
             covered_samples += 1
             gap = 0.0
         else:
             gap += step_s
             max_gap = max(max_gap, gap)
-        t += step_s
     return CoverageStatistics(
         lat_deg=lat_deg,
         coverage_fraction=covered_samples / samples,

@@ -23,17 +23,24 @@ class _QueuedEvent:
 class EventHandle:
     """A scheduled event; cancellable until it fires."""
 
-    __slots__ = ("callback", "args", "cancelled", "time")
+    __slots__ = ("callback", "args", "cancelled", "time", "fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable, args: Tuple):
+    def __init__(self, time: float, callback: Callable, args: Tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
 
 class PeriodicHandle:
@@ -68,6 +75,9 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
+        # Live (scheduled, not yet fired or cancelled) event count,
+        # maintained incrementally so pending() is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -89,9 +99,10 @@ class Simulator:
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time} before now={self._now}")
-        handle = EventHandle(time, callback, args)
+        handle = EventHandle(time, callback, args, self)
         heapq.heappush(self._queue,
                        _QueuedEvent(time, next(self._seq), handle))
+        self._live += 1
         return handle
 
     def schedule_periodic(self, interval: float, callback: Callable,
@@ -124,6 +135,8 @@ class Simulator:
             entry = heapq.heappop(self._queue)
             if entry.handle.cancelled:
                 continue
+            entry.handle.fired = True
+            self._live -= 1
             self._now = entry.time
             entry.handle.callback(*entry.handle.args)
             self.events_processed += 1
@@ -151,5 +164,5 @@ class Simulator:
             self._now = until
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._queue if not e.handle.cancelled)
+        """Number of not-yet-cancelled queued events (O(1))."""
+        return self._live

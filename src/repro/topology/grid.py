@@ -21,6 +21,7 @@ from ..orbits.coordinates import distance3, geodetic_to_ecef
 from ..orbits.coverage import coverage_half_angle
 from ..orbits.groundstations import GroundStation
 from ..orbits.propagator import IdealPropagator
+from ..orbits.snapshot import snapshot_for
 from ..constants import EARTH_RADIUS_KM
 from .links import propagation_delay_s
 
@@ -39,24 +40,40 @@ class GridTopology:
         self.ground_stations = list(ground_stations)
         self._failed_sats: set = set()
         self._failed_isls: set = set()
+        # The +Grid wiring is static; memoise each satellite's four
+        # neighbours so per-hop routing does no plane/slot arithmetic.
+        self._neighbor_cache: Dict[int, Tuple[int, int, int, int]] = {}
+        #: Monotonic counter bumped on every failure-state change, so
+        #: liveness-dependent caches (e.g. DijkstraRouter graphs) can
+        #: key on it.  Pure-geometry snapshots never depend on it.
+        self._fault_epoch = 0
 
     # -- failure injection ---------------------------------------------------
+
+    @property
+    def fault_epoch(self) -> int:
+        """Version of the failure state; changes invalidate liveness caches."""
+        return self._fault_epoch
 
     def fail_satellite(self, sat: int) -> None:
         """Remove a satellite (radiation/debris failure, S3.3)."""
         self._failed_sats.add(sat)
+        self._fault_epoch += 1
 
     def recover_satellite(self, sat: int) -> None:
         """Bring a failed satellite back into the topology."""
         self._failed_sats.discard(sat)
+        self._fault_epoch += 1
 
     def fail_isl(self, sat_a: int, sat_b: int) -> None:
         """Take one ISL down (laser misalignment, S3.3)."""
         self._failed_isls.add(frozenset((sat_a, sat_b)))
+        self._fault_epoch += 1
 
     def recover_isl(self, sat_a: int, sat_b: int) -> None:
         """Restore a failed inter-satellite link."""
         self._failed_isls.discard(frozenset((sat_a, sat_b)))
+        self._fault_epoch += 1
 
     def is_up(self, sat: int) -> bool:
         """Whether a satellite is alive."""
@@ -69,28 +86,34 @@ class GridTopology:
 
     # -- neighbourhood ---------------------------------------------------------
 
+    def _grid_neighbors(self, sat: int) -> Tuple[int, int, int, int]:
+        """(up, down, left, right) neighbours of ``sat``, memoised."""
+        cached = self._neighbor_cache.get(sat)
+        if cached is None:
+            c = self.constellation
+            plane, slot = c.plane_slot(sat)
+            up, down = c.intra_plane_neighbors(plane, slot)
+            left, right = c.inter_plane_neighbors(plane, slot)
+            cached = (up, down, left, right)
+            self._neighbor_cache[sat] = cached
+        return cached
+
     def isl_neighbors(self, sat: int) -> List[int]:
         """The up-to-four live grid neighbours of ``sat``."""
-        c = self.constellation
-        plane, slot = c.plane_slot(sat)
-        up, down = c.intra_plane_neighbors(plane, slot)
-        left, right = c.inter_plane_neighbors(plane, slot)
+        up, down, left, right = self._grid_neighbors(sat)
         return [n for n in (up, down, left, right) if self.isl_up(sat, n)]
 
     def directional_neighbors(self, sat: int) -> Dict[str, int]:
         """Neighbours keyed by the Algorithm 1 direction names."""
-        c = self.constellation
-        plane, slot = c.plane_slot(sat)
-        up, down = c.intra_plane_neighbors(plane, slot)
-        left, right = c.inter_plane_neighbors(plane, slot)
+        up, down, left, right = self._grid_neighbors(sat)
         return {"up": up, "down": down, "left": left, "right": right}
 
     # -- geometry ---------------------------------------------------------------
 
     def sat_position(self, sat: int, t: float) -> Tuple[float, float, float]:
         """Earth-fixed Cartesian position of a satellite at t (km)."""
-        plane, slot = self.constellation.plane_slot(sat)
-        return self.propagator.state(plane, slot, t).position_ecef()
+        pos = snapshot_for(self.propagator, t).positions_ecef[sat]
+        return (float(pos[0]), float(pos[1]), float(pos[2]))
 
     def isl_distance_km(self, sat_a: int, sat_b: int, t: float) -> float:
         """Geometric length of the link between two satellites (km)."""
@@ -138,13 +161,8 @@ class GridTopology:
         """
         c = self.constellation
         theta = coverage_half_angle(c.altitude_km, c.min_elevation_deg)
-        subs = self.propagator.subpoints(t)
-        dlat = subs[:, 0] - station.lat
-        dlon = subs[:, 1] - station.lon
-        h = (np.sin(dlat / 2.0) ** 2
-             + np.cos(subs[:, 0]) * math.cos(station.lat)
-             * np.sin(dlon / 2.0) ** 2)
-        ang = 2.0 * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+        ang = snapshot_for(self.propagator, t).central_angles(
+            station.lat, station.lon)
         order = np.argsort(ang)
         for idx in order:
             sat = int(idx)
@@ -165,7 +183,7 @@ class GridTopology:
         """
         graph = nx.Graph()
         c = self.constellation
-        positions = self.propagator.positions_ecef(t)
+        positions = snapshot_for(self.propagator, t).positions_ecef
         for sat in range(c.total_satellites):
             if self.is_up(sat):
                 graph.add_node(sat)

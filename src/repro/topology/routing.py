@@ -17,17 +17,20 @@ of state SpaceCore wants satellites not to carry.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..constants import SPEED_OF_LIGHT_KM_S
 from ..orbits.coordinates import (
     InclinedCoordinateSystem,
     central_angle,
     wrap_signed,
 )
 from ..orbits.coverage import coverage_half_angle
+from ..orbits.snapshot import ConstellationSnapshot, snapshot_for
 from .grid import GridTopology
 
 
@@ -66,16 +69,27 @@ class GeospatialRouter:
         #: oscillating between two near-covering satellites.
         self.degraded_slack = 1.6
         self.max_hops = max_hops
+        # Per-snapshot memo of ISL lengths: packets routed at the same
+        # epoch traverse the same few hundred grid edges over and over.
+        self._edge_snap: Optional[ConstellationSnapshot] = None
+        self._edge_km: dict = {}
 
     # -- per-hop decision (the Algorithm 1 listing) ------------------------------
+
+    def _snapshot(self, t: float) -> ConstellationSnapshot:
+        """The cached epoch snapshot every per-hop read indexes into."""
+        return snapshot_for(self.topology.propagator, t)
 
     def covers(self, sat: int, dest_lat: float, dest_lon: float,
                t: float) -> bool:
         """Line 1-2 of Algorithm 1: does this satellite cover D?"""
-        plane, slot = self.topology.constellation.plane_slot(sat)
-        sat_lat, sat_lon = self.topology.propagator.state(
-            plane, slot, t).subpoint()
-        return (central_angle(sat_lat, sat_lon, dest_lat, dest_lon)
+        return self._covers(self._snapshot(t), sat, dest_lat, dest_lon)
+
+    def _covers(self, snap: ConstellationSnapshot, sat: int,
+                dest_lat: float, dest_lon: float) -> bool:
+        sub = snap.subpoints
+        return (central_angle(sub[sat, 0], sub[sat, 1],
+                              dest_lat, dest_lon)
                 <= self.coverage_angle)
 
     def _hop_offsets(self, sat: int, dest_lat: float, dest_lon: float,
@@ -87,15 +101,19 @@ class GeospatialRouter:
         covers the same ground as an ascending satellite of a mirrored
         plane.
         """
+        return self._hop_offsets_snap(
+            self._snapshot(t), sat,
+            self.system.both_representations(dest_lat, dest_lon))
+
+    def _hop_offsets_snap(self, snap: ConstellationSnapshot, sat: int,
+                          dest_reps: Sequence[Tuple[float, float]]
+                          ) -> Tuple[float, float]:
         c = self.topology.constellation
-        plane, slot = c.plane_slot(sat)
-        state = self.topology.propagator.state(plane, slot, t)
-        alpha_s = state.raan_ecef
-        gamma_s = state.arg_latitude
+        alpha_s = snap.raan_ecef[sat]
+        gamma_s = snap.arg_latitude[sat]
         best: Optional[Tuple[float, float]] = None
         best_metric = math.inf
-        for alpha_d, gamma_d in self.system.both_representations(
-                dest_lat, dest_lon):
+        for alpha_d, gamma_d in dest_reps:
             da = wrap_signed(alpha_d - alpha_s) / c.delta_raan
             dg = wrap_signed(gamma_d - gamma_s) / c.delta_phase
             metric = abs(da) + abs(dg)
@@ -112,7 +130,14 @@ class GeospatialRouter:
         Returns the neighbour's flat index, or None when this satellite
         is already the best grid position (deliver here).
         """
-        da, dg = self._hop_offsets(sat, dest_lat, dest_lon, t)
+        return self._next_hop_snap(
+            self._snapshot(t), sat,
+            self.system.both_representations(dest_lat, dest_lon))
+
+    def _next_hop_snap(self, snap: ConstellationSnapshot, sat: int,
+                       dest_reps: Sequence[Tuple[float, float]]
+                       ) -> Optional[int]:
+        da, dg = self._hop_offsets_snap(snap, sat, dest_reps)
         if abs(da) < 0.5 and abs(dg) < 0.5:
             return None
         neighbors = self.topology.directional_neighbors(sat)
@@ -134,55 +159,88 @@ class GeospatialRouter:
         bounding detours).
         """
         topo = self.topology
+        # One cached snapshot and one destination (alpha, gamma)
+        # conversion serve every hop of this packet.
+        snap = self._snapshot(t)
+        dest_reps = self.system.both_representations(dest_lat, dest_lon)
         path = [src_sat]
         visited = {src_sat}
         delay = 0.0
         distance = 0.0
         current = src_sat
         for _ in range(self.max_hops):
-            if self.covers(current, dest_lat, dest_lon, t):
+            if self._covers(snap, current, dest_lat, dest_lon):
                 return RouteResult(True, path, delay, distance)
-            preferred = self.next_hop(current, dest_lat, dest_lon, t)
+            preferred = self._next_hop_snap(snap, current, dest_reps)
             if preferred is None:
                 # Closest grid position, but the footprint misses D
                 # (low elevation); deliver degraded rather than loop.
-                if self._nearly_covers(current, dest_lat, dest_lon, t):
+                if self._nearly_covers_snap(snap, current, dest_lat,
+                                            dest_lon):
                     return RouteResult(True, path, delay, distance,
                                        degraded=True)
-                preferred = self._best_live_neighbor(current, dest_lat,
-                                                     dest_lon, t, visited)
+                preferred = self._best_live_neighbor_snap(
+                    snap, current, dest_reps, visited)
             if (preferred is None or preferred in visited
                     or not topo.isl_up(current, preferred)):
-                preferred = self._best_live_neighbor(current, dest_lat,
-                                                     dest_lon, t, visited)
+                preferred = self._best_live_neighbor_snap(
+                    snap, current, dest_reps, visited)
             if preferred is None:
                 return RouteResult(False, path, delay, distance)
-            hop_km = topo.isl_distance_km(current, preferred, t)
-            delay += topo.isl_delay_s(current, preferred, t)
+            hop_km = self._hop_km(snap, current, preferred)
+            delay += hop_km / SPEED_OF_LIGHT_KM_S
             distance += hop_km
             current = preferred
             path.append(current)
             visited.add(current)
         return RouteResult(False, path, delay, distance)
 
+    def _hop_km(self, snap: ConstellationSnapshot, a: int, b: int) -> float:
+        """Length of the a--b ISL at this epoch, memoised per snapshot."""
+        if self._edge_snap is not snap:
+            self._edge_snap = snap
+            self._edge_km = {}
+        key = (a, b) if a < b else (b, a)
+        d = self._edge_km.get(key)
+        if d is None:
+            pos = snap.positions_ecef
+            dx = pos[a, 0] - pos[b, 0]
+            dy = pos[a, 1] - pos[b, 1]
+            dz = pos[a, 2] - pos[b, 2]
+            d = math.sqrt(dx * dx + dy * dy + dz * dz)
+            self._edge_km[key] = d
+        return d
+
     def _nearly_covers(self, sat: int, dest_lat: float, dest_lon: float,
                        t: float) -> bool:
-        plane, slot = self.topology.constellation.plane_slot(sat)
-        sat_lat, sat_lon = self.topology.propagator.state(
-            plane, slot, t).subpoint()
-        return (central_angle(sat_lat, sat_lon, dest_lat, dest_lon)
+        return self._nearly_covers_snap(self._snapshot(t), sat,
+                                        dest_lat, dest_lon)
+
+    def _nearly_covers_snap(self, snap: ConstellationSnapshot, sat: int,
+                            dest_lat: float, dest_lon: float) -> bool:
+        sub = snap.subpoints
+        return (central_angle(sub[sat, 0], sub[sat, 1],
+                              dest_lat, dest_lon)
                 <= self.coverage_angle * self.degraded_slack)
 
     def _best_live_neighbor(self, sat: int, dest_lat: float,
                             dest_lon: float, t: float,
                             visited: set) -> Optional[int]:
         """Greedy deflection: live unvisited neighbour nearest the goal."""
+        return self._best_live_neighbor_snap(
+            self._snapshot(t), sat,
+            self.system.both_representations(dest_lat, dest_lon), visited)
+
+    def _best_live_neighbor_snap(self, snap: ConstellationSnapshot,
+                                 sat: int,
+                                 dest_reps: Sequence[Tuple[float, float]],
+                                 visited: set) -> Optional[int]:
         best = None
         best_metric = math.inf
         for nbr in self.topology.isl_neighbors(sat):
             if nbr in visited:
                 continue
-            da, dg = self._hop_offsets(nbr, dest_lat, dest_lon, t)
+            da, dg = self._hop_offsets_snap(snap, nbr, dest_reps)
             metric = abs(da) + abs(dg)
             if metric < best_metric:
                 best_metric = metric
@@ -191,17 +249,38 @@ class GeospatialRouter:
 
 
 class DijkstraRouter:
-    """Stateful shortest-path baseline over a topology snapshot."""
+    """Stateful shortest-path baseline over a topology snapshot.
 
-    def __init__(self, topology: GridTopology):
+    Graphs are kept in a bounded LRU keyed by ``t`` so workloads that
+    alternate between a handful of timesteps (e.g. ideal-vs-J4 sweeps
+    interleaving the same sample epochs) stop rebuilding the same
+    snapshot graph on every switch.
+    """
+
+    def __init__(self, topology: GridTopology, cache_size: int = 16):
         self.topology = topology
-        self._graph_cache: Optional[Tuple[float, nx.Graph]] = None
+        self._cache_size = max(1, cache_size)
+        self._graph_cache: "OrderedDict[Tuple[float, int], nx.Graph]" = (
+            OrderedDict())
+
+    def invalidate(self) -> None:
+        """Drop every cached graph."""
+        self._graph_cache.clear()
 
     def _graph(self, t: float) -> nx.Graph:
-        if self._graph_cache is None or self._graph_cache[0] != t:
-            self._graph_cache = (t, self.topology.snapshot_graph(
-                t, include_ground=False))
-        return self._graph_cache[1]
+        # Keyed by (t, fault epoch): a graph embeds liveness, so any
+        # failure-injection change makes a new key and old entries age
+        # out of the LRU instead of being served stale.
+        key = (t, self.topology.fault_epoch)
+        graph = self._graph_cache.get(key)
+        if graph is not None:
+            self._graph_cache.move_to_end(key)
+            return graph
+        graph = self.topology.snapshot_graph(t, include_ground=False)
+        self._graph_cache[key] = graph
+        while len(self._graph_cache) > self._cache_size:
+            self._graph_cache.popitem(last=False)
+        return graph
 
     def route(self, src_sat: int, dst_sat: int, t: float) -> RouteResult:
         """Shortest path between two satellites on the snapshot graph."""

@@ -27,6 +27,7 @@ import networkx as nx
 from ..geo.population import PopulationGrid
 from ..orbits.coverage import footprint_radius_km
 from ..orbits.groundstations import GroundStation
+from ..orbits.snapshot import snapshot_for
 from .grid import GridTopology
 from .routing import GeospatialRouter
 
@@ -99,7 +100,7 @@ def gravity_demand(topology: GridTopology, t: float,
     population = population or PopulationGrid()
     c = topology.constellation
     radius = footprint_radius_km(c.altitude_km, c.min_elevation_deg)
-    subpoints = topology.propagator.subpoints(t)
+    subpoints = snapshot_for(topology.propagator, t).subpoints
     weights = []
     for sat in range(c.total_satellites):
         lat, lon = subpoints[sat]
@@ -170,7 +171,7 @@ def load_peer_to_peer(topology: GridTopology, t: float,
                       ) -> TrafficLoad:
     """SpaceCore pattern: demand rides Algorithm 1 paths end to end."""
     router = router or GeospatialRouter(topology)
-    subpoints = topology.propagator.subpoints(t)
+    subpoints = snapshot_for(topology.propagator, t).subpoints
     load = TrafficLoad()
     for src, dst, demand in demands:
         dest_lat, dest_lon = subpoints[dst]
