@@ -175,6 +175,30 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .experiments import (
+        ChaosScenario,
+        run_chaos_availability,
+        write_chaos_report,
+    )
+    scenario = ChaosScenario(seed=args.seed, n_ues=args.ues,
+                             horizon_s=args.horizon)
+    result = run_chaos_availability(scenario=scenario)
+    print(f"chaos availability -- {args.ues} UEs, "
+          f"{args.horizon:.0f}s horizon, seed {args.seed}:")
+    print(f"  faults injected: {len(result.fault_log)}")
+    for sample in result.samples:
+        print(f"  t={sample.t:7.0f}s survival "
+              f"spacecore={sample.spacecore:.3f} "
+              f"baseline={sample.baseline:.3f}")
+    print(f"  lost sessions: SpaceCore {result.spacecore_lost}, "
+          f"baseline {result.baseline_lost}")
+    if args.output:
+        write_chaos_report(args.output, result)
+        print(f"  wrote {args.output}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments.report import generate_report, write_report
     if args.output:
@@ -199,6 +223,7 @@ _COMMANDS: Dict[str, tuple] = {
     "fig20": (_cmd_fig20, "signaling per solution"),
     "fig21": (_cmd_fig21, "user-level stalling"),
     "emulate": (_cmd_emulate, "run the live-stack emulation"),
+    "chaos": (_cmd_chaos, "session survival under injected churn"),
 }
 
 
@@ -227,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--duration", type=float, default=600.0)
             sub.add_argument("--interval", type=float, default=106.9)
             sub.add_argument("--seed", type=int, default=0)
+        if name == "chaos":
+            sub.add_argument("--ues", type=int, default=24)
+            sub.add_argument("--horizon", type=float, default=3600.0)
+            sub.add_argument("--seed", type=int, default=0)
+            sub.add_argument("--output", default=None)
     return parser
 
 

@@ -63,6 +63,35 @@ BASEBAND_DEADLINE_S = 0.010
 #: Fraction of Starlink satellites estimated to have failed (§1, §3.3).
 STARLINK_FAILURE_FRACTION = 1.0 / 40.0
 
+# ---------------------------------------------------------------------------
+# NAS procedure guard timers and retry discipline (TS 24.501 analogues)
+# ---------------------------------------------------------------------------
+
+#: Registration guard timer T3510 (s): how long a UE waits for the
+#: Registration Accept before retrying.
+NAS_T3510_S = 15.0
+
+#: PDU session establishment guard timer T3580 (s).
+NAS_T3580_S = 16.0
+
+#: Service request / handover guard timer T3517 (s).
+NAS_T3517_S = 15.0
+
+#: NAS retry counters expire after five attempts (the TS 24.501
+#: "abort the procedure" threshold); we abandon after this many.
+NAS_MAX_ATTEMPTS = 5
+
+#: Base delay of the bounded exponential backoff between procedure
+#: attempts (s); attempt k waits base * 2**k, capped below.
+NAS_RETRY_BACKOFF_BASE_S = 2.0
+
+#: Upper bound on a single backoff interval (s).
+NAS_RETRY_BACKOFF_CAP_S = 30.0
+
+#: Radio-link-failure detection delay (s): the gap between a serving
+#: satellite dying and the UE declaring RLF and re-attaching (T310-ish).
+RLF_DETECTION_S = 1.0
+
 #: Satellite user-capacity sweep used throughout the evaluation (Fig. 10/20).
 SATELLITE_CAPACITIES = (2_000, 10_000, 20_000, 30_000)
 

@@ -19,6 +19,7 @@ from .mobility import (
     MobilityDecision,
     MobilityEvent,
 )
+from .robustness import ProcedureOutcome, ResilientSpaceCore
 from .satellite import (
     FallbackRequired,
     ServedSession,
@@ -33,6 +34,7 @@ __all__ = [
     "TerrestrialBaseStation",
     "GeospatialMobilityManager", "MobilityAction", "MobilityDecision",
     "MobilityEvent",
+    "ProcedureOutcome", "ResilientSpaceCore",
     "FallbackRequired", "ServedSession", "SpaceCoreSatellite",
     "DownlinkResult", "SpaceCoreSystem",
 ]

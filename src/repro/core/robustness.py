@@ -1,0 +1,222 @@
+"""Procedure-level robustness: NAS guard timers, bounded retries (S4.3).
+
+The raw :class:`~repro.core.spacecore.SpaceCoreSystem` procedures
+raise :class:`FallbackRequired` the moment anything mid-procedure goes
+wrong -- a satellite dying between coverage lookup and replica
+install, an expired replica, a revoked proxy.  Real UEs do not crash;
+they run guard timers (T3510/T3580/T3517 analogues from
+:mod:`repro.constants`) and retry with bounded exponential backoff,
+re-selecting a serving satellite each attempt.
+
+:class:`ResilientSpaceCore` wraps a system with exactly that
+discipline and records one :class:`ProcedureOutcome` per invocation
+(attempts, accumulated delay, abandoned or not) -- the raw material of
+the chaos-availability curves.  Wired to a
+:class:`~repro.faults.chaos.ChaosController`, it turns satellite-death
+events into scheduled re-attach attempts, which is how a seeded chaos
+run exercises the whole recovery path event-by-event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..constants import (
+    NAS_MAX_ATTEMPTS,
+    NAS_RETRY_BACKOFF_BASE_S,
+    NAS_RETRY_BACKOFF_CAP_S,
+    NAS_T3510_S,
+    NAS_T3517_S,
+    NAS_T3580_S,
+    RLF_DETECTION_S,
+)
+from ..fiveg.procedures import ProcedureError
+from ..fiveg.ue import UserEquipment
+from .satellite import FallbackRequired
+from .spacecore import SpaceCoreSystem
+
+
+@dataclass
+class ProcedureOutcome:
+    """The fate of one timed procedure run (possibly after retries)."""
+
+    procedure: str          # register | establish | handover | recovery
+    supi: str
+    started_at: float
+    attempts: int
+    total_delay_s: float    # timer expiries + backoff until completion
+    completed: bool
+    abandoned: bool         # retry counter exhausted, session dropped
+    detail: str = ""
+
+    def key(self) -> Tuple:
+        """Serialisable identity for bit-reproducibility comparisons."""
+        return (self.procedure, self.supi, round(self.started_at, 9),
+                self.attempts, round(self.total_delay_s, 9),
+                self.completed, self.abandoned)
+
+
+class ResilientSpaceCore:
+    """Timer-and-retry front end over a :class:`SpaceCoreSystem`."""
+
+    def __init__(self, system: SpaceCoreSystem,
+                 max_attempts: int = NAS_MAX_ATTEMPTS,
+                 backoff_base_s: float = NAS_RETRY_BACKOFF_BASE_S,
+                 backoff_cap_s: float = NAS_RETRY_BACKOFF_CAP_S):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.system = system
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.outcomes: List[ProcedureOutcome] = []
+        self.lost_sessions: List[str] = []
+        self._ues: Dict[str, UserEquipment] = {}
+        self._sim = None
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def track(self, ue: UserEquipment) -> None:
+        """Make the wrapper responsible for this UE's recovery."""
+        self._ues[str(ue.supi)] = ue
+
+    def tracked_ues(self) -> List[UserEquipment]:
+        """Every UE this wrapper will recover after a fault."""
+        return list(self._ues.values())
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_base_s * (2.0 ** attempt),
+                   self.backoff_cap_s)
+
+    # -- the retry loop -----------------------------------------------------------
+
+    def _run_with_retries(self, procedure: str, supi: str, t: float,
+                          guard_timer_s: float,
+                          attempt_fn: Callable[[float], object]
+                          ) -> Tuple[Optional[object], ProcedureOutcome]:
+        """Run ``attempt_fn(t + elapsed)`` under the NAS discipline.
+
+        A failed attempt costs one guard-timer expiry plus the bounded
+        exponential backoff before the next try; the procedure is
+        abandoned once the retry counter is exhausted.
+        """
+        elapsed = 0.0
+        detail = ""
+        for attempt in range(self.max_attempts):
+            try:
+                result = attempt_fn(t + elapsed)
+            except (FallbackRequired, ProcedureError) as exc:
+                detail = str(exc)
+                elapsed += guard_timer_s + self._backoff(attempt)
+                continue
+            outcome = ProcedureOutcome(
+                procedure, supi, t, attempt + 1, elapsed,
+                completed=True, abandoned=False, detail=detail)
+            self.outcomes.append(outcome)
+            return result, outcome
+        outcome = ProcedureOutcome(
+            procedure, supi, t, self.max_attempts, elapsed,
+            completed=False, abandoned=True, detail=detail)
+        self.outcomes.append(outcome)
+        return None, outcome
+
+    # -- timed procedures ----------------------------------------------------------
+
+    def register(self, ue: UserEquipment,
+                 t: float = 0.0) -> ProcedureOutcome:
+        """C1 with T3510 retries; tracks the UE for chaos recovery."""
+        self.track(ue)
+        _, outcome = self._run_with_retries(
+            "register", str(ue.supi), t, NAS_T3510_S,
+            lambda now: self.system.register(ue, now))
+        return outcome
+
+    def establish_session(self, ue: UserEquipment,
+                          t: float = 0.0) -> ProcedureOutcome:
+        """Localized C2 with T3580 retries.
+
+        Every attempt re-selects the best *live* serving satellite, so
+        a satellite death between attempts costs one timer expiry, not
+        the session.
+        """
+        self.track(ue)
+        _, outcome = self._run_with_retries(
+            "establish", str(ue.supi), t, NAS_T3580_S,
+            lambda now: self.system.establish_session(
+                ue, now, allow_fallback=True))
+        return outcome
+
+    def handover(self, ue: UserEquipment, t: float) -> ProcedureOutcome:
+        """S4.3 handover with T3517 retries.
+
+        A mid-handover target death surfaces as ``FallbackRequired``
+        from the replica install; the next attempt re-selects whatever
+        satellite is then the best live server.
+        """
+        self.track(ue)
+        _, outcome = self._run_with_retries(
+            "handover", str(ue.supi), t, NAS_T3517_S,
+            lambda now: self.system.handover(ue, now))
+        return outcome
+
+    def recover(self, ue: UserEquipment, t: float) -> ProcedureOutcome:
+        """Re-attach after a serving-satellite death, with retries.
+
+        ``recover_from_satellite_failure`` returning None (nothing
+        live covers the UE right now) is a retriable condition -- the
+        constellation moves, so a later attempt may see coverage.
+        Abandonment after ``max_attempts`` is a lost session.
+        """
+        self.track(ue)
+
+        def attempt(now: float):
+            sat = self.system.recover_from_satellite_failure(ue, now)
+            if sat is None:
+                raise FallbackRequired("no live coverage for re-attach")
+            return sat
+
+        _, outcome = self._run_with_retries(
+            "recovery", str(ue.supi), t, NAS_T3517_S, attempt)
+        if outcome.abandoned:
+            self.lost_sessions.append(str(ue.supi))
+        return outcome
+
+    # -- chaos wiring ----------------------------------------------------------------
+
+    def attach_chaos(self, controller) -> None:
+        """Subscribe to a ChaosController: satellite deaths trigger
+        scheduled RLF detection + recovery for every UE the corpse was
+        serving."""
+        self._sim = controller.sim
+        controller.subscribe(self._on_fault)
+
+    def _on_fault(self, event) -> None:
+        from ..faults.chaos import FaultKind
+        if event.kind is not FaultKind.SAT_FAIL or self._sim is None:
+            return
+        dead = event.target[0]
+        victims = [supi for supi, sat
+                   in self.system._ue_serving_sat.items() if sat == dead]
+        for supi in victims:
+            ue = self._ues.get(supi)
+            if ue is not None:
+                self._sim.schedule(RLF_DETECTION_S, self.recover, ue,
+                                   self._sim.now + RLF_DETECTION_S)
+
+    # -- reading ---------------------------------------------------------------------
+
+    def outcome_keys(self) -> List[Tuple]:
+        """Serialisable outcome log (the reproducibility contract)."""
+        return [outcome.key() for outcome in self.outcomes]
+
+    def abandoned_count(self) -> int:
+        """Procedures given up after exhausting the retry budget."""
+        return sum(1 for o in self.outcomes if o.abandoned)
+
+    def session_alive(self, ue: UserEquipment) -> bool:
+        """Whether the UE currently holds a served session somewhere."""
+        sat = self.system._ue_serving_sat.get(str(ue.supi))
+        if sat is None:
+            return False
+        return self.system.topology.is_up(sat)

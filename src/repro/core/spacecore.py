@@ -103,6 +103,30 @@ class SpaceCoreSystem:
         """Flat index of the satellite covering a UE (-1 when none)."""
         return serving_satellite(self.propagator, t, ue.lat, ue.lon)
 
+    def live_serving_satellite_of(self, ue: UserEquipment,
+                                  t: float = 0.0) -> int:
+        """The closest *live* covering satellite (-1 when none).
+
+        Unlike the purely geometric :meth:`serving_satellite_of`, dead
+        satellites are skipped -- a UE under churn attaches to the best
+        survivor instead of a corpse.
+        """
+        return self._closest_live_candidate(ue, t)
+
+    def _closest_live_candidate(self, ue: UserEquipment,
+                                t: float) -> int:
+        from ..orbits.snapshot import snapshot_for
+        snap = snapshot_for(self.propagator, t)
+        candidates = snap.visible_satellites(ue.lat, ue.lon)
+        if len(candidates) == 0:
+            return -1
+        angles = snap.central_angles(ue.lat, ue.lon)[candidates]
+        for idx in angles.argsort(kind="stable"):
+            sat = int(candidates[idx])
+            if self.topology.is_up(sat):
+                return sat
+        return -1
+
     def cell_of(self, ue: UserEquipment) -> CellId:
         """The UE's geospatial cell id."""
         return self.grid.cell_of(ue.lat, ue.lon)
@@ -128,9 +152,9 @@ class SpaceCoreSystem:
         but service continues.  Without it, the failure surfaces as
         :class:`FallbackRequired` for the caller to handle.
         """
-        sat_index = self.serving_satellite_of(ue, t)
+        sat_index = self.live_serving_satellite_of(ue, t)
         if sat_index < 0:
-            raise FallbackRequired("no satellite covers this UE")
+            raise FallbackRequired("no live satellite covers this UE")
         satellite = self.satellite(sat_index)
         try:
             served = satellite.establish_session_locally(
@@ -165,7 +189,7 @@ class SpaceCoreSystem:
         """
         supi = str(ue.supi)
         current = self._ue_serving_sat.get(supi)
-        new_sat = self.serving_satellite_of(ue, t)
+        new_sat = self.live_serving_satellite_of(ue, t)
         if new_sat < 0 or new_sat == current:
             return None
         if current is None or not ue.connected:
@@ -235,22 +259,26 @@ class SpaceCoreSystem:
         Returns the new serving satellite, or None when nothing covers
         the UE right now.
         """
-        from ..orbits.coverage import visible_satellites
+        from ..orbits.snapshot import snapshot_for
         supi = str(ue.supi)
         self._ue_serving_sat.pop(supi, None)
-        candidates = visible_satellites(self.propagator, t, ue.lat,
-                                        ue.lon)
-        for candidate in sorted(candidates):
-            sat = int(candidate)
-            if not self.topology.is_up(sat):
-                continue
-            try:
-                self.satellite(sat).establish_session_locally(
-                    ue, t, self.home.verify_key)
-            except FallbackRequired:
-                continue
-            self._ue_serving_sat[supi] = sat
-            return sat
+        snap = snapshot_for(self.propagator, t)
+        candidates = snap.visible_satellites(ue.lat, ue.lon)
+        if len(candidates):
+            angles = snap.central_angles(ue.lat, ue.lon)[candidates]
+            # Nearest-first: re-attach at the highest elevation angle
+            # that is still alive and willing.
+            for idx in angles.argsort(kind="stable"):
+                sat = int(candidates[idx])
+                if not self.topology.is_up(sat):
+                    continue
+                try:
+                    self.satellite(sat).establish_session_locally(
+                        ue, t, self.home.verify_key)
+                except FallbackRequired:
+                    continue
+                self._ue_serving_sat[supi] = sat
+                return sat
         ue.connected = False
         return None
 

@@ -16,6 +16,13 @@ from .bottleneck import (
     gateway_concentration,
     registration_delay_cdf,
 )
+from .chaos_availability import (
+    ChaosAvailabilityResult,
+    ChaosScenario,
+    SurvivalSample,
+    run_chaos_availability,
+    write_chaos_report,
+)
 from .cpu import (
     FIG7_RATES,
     FIG8_RATES,
@@ -87,6 +94,8 @@ __all__ = [
     "gateway_reachability",
     "GatewayConcentration", "deadline_violation_factor",
     "gateway_concentration", "registration_delay_cdf",
+    "ChaosAvailabilityResult", "ChaosScenario", "SurvivalSample",
+    "run_chaos_availability", "write_chaos_report",
     "FIG7_RATES", "FIG8_RATES", "LatencyPoint", "fig7_cpu_breakdown",
     "fig7_saturation_rate", "fig8_latency_sweep",
     "LeakageStudy", "fig19_study", "final_hijack_leaks",

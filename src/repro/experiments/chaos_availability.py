@@ -1,0 +1,396 @@
+"""Session survival under injected churn: the Fig. 13/14 story, live.
+
+The offline availability sweep (:mod:`.availability`) multiplies
+analytic survival probabilities; this experiment instead *runs* a
+day-in-the-life segment on the event engine with a
+:class:`~repro.faults.chaos.ChaosController` injecting satellite
+deaths, Gilbert-Elliott link bursts, and a regional jamming window,
+and measures what actually happens to established sessions:
+
+* **SpaceCore**: every fault is survived by the real recovery path --
+  RLF detection, NAS-timed retries, re-attach with the UE-held state
+  replica on the best live satellite
+  (:class:`~repro.core.robustness.ResilientSpaceCore`);
+* **stateful baseline** (5G NTN-style): a serving-satellite death
+  destroys the on-board context, so the UE must re-run the full
+  home-routed registration + establishment -- which needs a live ISL
+  path to a gateway and every message of the long flow to survive the
+  (possibly jammed, possibly bursty) links.
+
+Outputs are session-survival curves and recovery-latency samples for
+both systems, JSON-serialisable for the report layer.  Runs are
+bit-reproducible: the same seed yields an identical fault event log
+and identical procedure outcome records.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..baselines.solutions import fiveg_ntn
+from ..constants import (
+    INMARSAT_REGISTRATION_DELAY_S,
+    NAS_MAX_ATTEMPTS,
+    NAS_RETRY_BACKOFF_BASE_S,
+    NAS_RETRY_BACKOFF_CAP_S,
+    NAS_T3510_S,
+    RLF_DETECTION_S,
+)
+from ..core import ResilientSpaceCore, SpaceCoreSystem
+from ..faults.chaos import ChaosController, FaultKind, FaultSchedule
+from ..faults.failures import procedure_success_probability
+from ..fiveg.messages import ProcedureKind
+from ..orbits.constellation import Constellation, starlink
+from ..sim.engine import Simulator
+
+#: Four radio messages of the localized Fig. 16a exchange at LEO
+#: one-way latency: SpaceCore's re-attach cost once a live satellite
+#: is selected.
+SPACECORE_LOCAL_EXCHANGE_S = 4 * 0.0027
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """Knobs of the default churn scenario (all seeded)."""
+
+    horizon_s: float = 3600.0
+    sample_interval_s: float = 120.0
+    n_ues: int = 24
+    #: Hazard compression so simulation-scale horizons see Fig. 13a
+    #: scale churn; the default kills roughly half the targeted
+    #: satellites over one hour.
+    decay_acceleration: float = 5.0e5
+    #: Failed satellites come back after this long (None = permanent).
+    repair_delay_s: Optional[float] = 1500.0
+    #: Regional jamming window over the UE cluster centroid.
+    jam_start_s: float = 600.0
+    jam_stop_s: float = 1500.0
+    jam_radius_km: float = 1200.0
+    #: Per-wireless-hop message loss for the stateful baseline's
+    #: home-routed flows, outside and inside the jamming window.
+    per_link_loss: float = 0.02
+    jam_link_loss: float = 0.5
+    #: ISL hops a home-routed message crosses to reach the gateway.
+    path_hops: float = 6.0
+    seed: int = 0
+
+
+@dataclass
+class SurvivalSample:
+    """Fraction of initially-established sessions alive at ``t``."""
+
+    t: float
+    spacecore: float
+    baseline: float
+
+
+@dataclass
+class ChaosAvailabilityResult:
+    """Everything a chaos run produced, JSON-ready."""
+
+    scenario: ChaosScenario
+    fault_log: List[Tuple] = field(default_factory=list)
+    samples: List[SurvivalSample] = field(default_factory=list)
+    spacecore_outcomes: List[Tuple] = field(default_factory=list)
+    spacecore_recovery_latencies: List[float] = field(default_factory=list)
+    baseline_recovery_latencies: List[float] = field(default_factory=list)
+    spacecore_lost: int = 0
+    baseline_lost: int = 0
+    n_sessions: int = 0
+
+    @property
+    def final_spacecore_survival(self) -> float:
+        return self.samples[-1].spacecore if self.samples else 0.0
+
+    @property
+    def final_baseline_survival(self) -> float:
+        return self.samples[-1].baseline if self.samples else 0.0
+
+    def to_json(self) -> Dict:
+        """The report-layer payload (both curves + latency samples)."""
+        return {
+            "scenario": {
+                "horizon_s": self.scenario.horizon_s,
+                "n_ues": self.scenario.n_ues,
+                "seed": self.scenario.seed,
+                "jam_window_s": [self.scenario.jam_start_s,
+                                 self.scenario.jam_stop_s],
+            },
+            "fault_log": [list(key) for key in self.fault_log],
+            "curves": {
+                "t_s": [s.t for s in self.samples],
+                "spacecore_survival": [s.spacecore for s in self.samples],
+                "baseline_survival": [s.baseline for s in self.samples],
+            },
+            "recovery_latency_s": {
+                "spacecore": self.spacecore_recovery_latencies,
+                "baseline": self.baseline_recovery_latencies,
+            },
+            "lost_sessions": {
+                "spacecore": self.spacecore_lost,
+                "baseline": self.baseline_lost,
+            },
+            "n_sessions": self.n_sessions,
+            "spacecore_outcomes": [list(key)
+                                   for key in self.spacecore_outcomes],
+        }
+
+
+#: A spread of terrestrial user locations (degrees) the scenario
+#: samples from -- one hemisphere-ish cluster so a single jammer
+#: plausibly covers a subset.
+_UE_SITES = (
+    (39.9, 116.4), (31.2, 121.5), (22.3, 114.2), (35.7, 139.7),
+    (28.6, 77.2), (1.35, 103.8), (37.6, 127.0), (13.7, 100.5),
+    (23.8, 90.4), (41.0, 28.9), (55.8, 37.6), (25.3, 51.5),
+)
+
+
+def _place_ues(system: SpaceCoreSystem, n_ues: int, seed: int):
+    """Provision ``n_ues`` subscribers around the site list, jittered."""
+    rng = random.Random(seed)
+    ues = []
+    for i in range(n_ues):
+        lat, lon = _UE_SITES[i % len(_UE_SITES)]
+        ues.append(system.provision_ue(lat + rng.uniform(-2.0, 2.0),
+                                       lon + rng.uniform(-2.0, 2.0)))
+    return ues
+
+
+class _StatefulBaseline:
+    """A 5G NTN-style core under the same fault schedule.
+
+    Serving-satellite state is authoritative on board, so a satellite
+    death forces the full home-routed C1+C2 re-run: it succeeds only
+    if (a) the new serving satellite still reaches a gateway over live
+    ISLs and (b) every crossing message of the long flow survives the
+    per-hop loss -- jammed windows push that loss up.  Retries follow
+    the same NAS discipline as SpaceCore for a fair comparison.
+    """
+
+    def __init__(self, system: SpaceCoreSystem, scenario: ChaosScenario,
+                 controller: ChaosController):
+        self.system = system
+        self.scenario = scenario
+        self.controller = controller
+        self.rng = random.Random(scenario.seed + 101)
+        solution = fiveg_ntn()
+        flow = solution.flow(ProcedureKind.SESSION_ESTABLISHMENT)
+        reg = solution.flow(ProcedureKind.INITIAL_REGISTRATION)
+        self.crossing_messages = (solution.crossing_messages(flow)
+                                  + solution.crossing_messages(reg))
+        self.local_messages = (len(flow) + len(reg)
+                               - self.crossing_messages)
+        self.assignments: Dict[str, int] = {}
+        self.alive: Dict[str, bool] = {}
+        self.recovery_latencies: List[float] = []
+        self.lost = 0
+
+    def establish_all(self, ues, t: float) -> None:
+        for ue in ues:
+            sat = self.system.live_serving_satellite_of(ue, t)
+            supi = str(ue.supi)
+            self.assignments[supi] = sat
+            self.alive[supi] = sat >= 0
+
+    # -- fault reaction ----------------------------------------------------------
+
+    def on_fault(self, event) -> None:
+        if event.kind is not FaultKind.SAT_FAIL:
+            return
+        dead = event.target[0]
+        victims = [supi for supi, sat in self.assignments.items()
+                   if sat == dead and self.alive.get(supi)]
+        if not victims:
+            return
+        t = self.controller.sim.now + RLF_DETECTION_S
+        for supi in victims:
+            self._reattach(supi, t)
+
+    def _crossing_loss(self) -> float:
+        per_hop = (self.scenario.jam_link_loss
+                   if self.controller.jamming_active()
+                   else self.scenario.per_link_loss)
+        return 1.0 - (1.0 - per_hop) ** self.scenario.path_hops
+
+    def _gateway_reachable(self, sat: int, t: float) -> bool:
+        if sat < 0:
+            return False
+        topology = self.system.topology
+        graph = topology.snapshot_graph(t, include_ground=False)
+        if sat not in graph:
+            return False
+        sources = set()
+        for gs in self.system.ground_stations:
+            access = topology.station_access_satellite(gs, t)
+            if access >= 0:
+                sources.add(access)
+        return any(nx.has_path(graph, sat, source)
+                   for source in sources if source in graph)
+
+    def _reattach(self, supi: str, t: float) -> None:
+        """NAS-timed retries of the full home-routed procedure."""
+        elapsed = 0.0
+        for attempt in range(NAS_MAX_ATTEMPTS):
+            now = t + elapsed
+            sat = self._serving_at(supi, now)
+            survival = (
+                procedure_success_probability(self.local_messages,
+                                              self.scenario.per_link_loss)
+                * procedure_success_probability(self.crossing_messages,
+                                                self._crossing_loss()))
+            if (self._gateway_reachable(sat, now)
+                    and self.rng.random() < survival):
+                self.assignments[supi] = sat
+                self.recovery_latencies.append(
+                    RLF_DETECTION_S + elapsed
+                    + INMARSAT_REGISTRATION_DELAY_S)
+                return
+            backoff = min(NAS_RETRY_BACKOFF_BASE_S * (2.0 ** attempt),
+                          NAS_RETRY_BACKOFF_CAP_S)
+            elapsed += NAS_T3510_S + backoff
+        self.alive[supi] = False
+        self.assignments.pop(supi, None)
+        self.lost += 1
+
+    def _serving_at(self, supi: str, t: float) -> int:
+        ue = self._ue_by_supi.get(supi)
+        if ue is None:
+            return -1
+        return self.system.live_serving_satellite_of(ue, t)
+
+    def bind_ues(self, ues) -> None:
+        self._ue_by_supi = {str(ue.supi): ue for ue in ues}
+
+    def alive_fraction(self) -> float:
+        if not self.alive:
+            return 0.0
+        live = 0
+        for supi, is_alive in self.alive.items():
+            sat = self.assignments.get(supi)
+            if (is_alive and sat is not None and sat >= 0
+                    and self.system.topology.is_up(sat)):
+                live += 1
+        return live / len(self.alive)
+
+
+def run_chaos_availability(
+        constellation: Optional[Constellation] = None,
+        scenario: Optional[ChaosScenario] = None
+        ) -> ChaosAvailabilityResult:
+    """One seeded churn run: SpaceCore vs the stateful baseline."""
+    scenario = scenario if scenario is not None else ChaosScenario()
+    system = SpaceCoreSystem(constellation
+                             if constellation is not None else starlink())
+    sim = Simulator()
+    controller = ChaosController(sim, system.topology)
+    resilient = ResilientSpaceCore(system)
+    baseline = _StatefulBaseline(system, scenario, controller)
+
+    # -- population + initial attach at t=0 -------------------------------------
+    ues = _place_ues(system, scenario.n_ues, scenario.seed)
+    for ue in ues:
+        resilient.register(ue, 0.0)
+        resilient.establish_session(ue, 0.0)
+    baseline.bind_ues(ues)
+    baseline.establish_all(ues, 0.0)
+
+    # -- fault schedule: decay on the blast radius + bursts + jamming ------------
+    serving = {sat for sat in
+               (system.live_serving_satellite_of(ue, 0.0) for ue in ues)
+               if sat >= 0}
+    blast_radius = set(serving)
+    for sat in serving:
+        blast_radius.update(system.topology.directional_neighbors(
+            sat).values())
+    schedule = FaultSchedule()
+    schedule.add_satellite_decay(
+        sorted(blast_radius), scenario.horizon_s,
+        acceleration=scenario.decay_acceleration,
+        repair_delay_s=scenario.repair_delay_s, seed=scenario.seed)
+    links = {frozenset((sat, nbr)) for sat in serving
+             for nbr in system.topology.directional_neighbors(
+                 sat).values()}
+    schedule.add_link_bursts(
+        [tuple(sorted(link)) for link in sorted(links, key=sorted)],
+        scenario.horizon_s, seed=scenario.seed + 1)
+    ue_lats = [ue.lat for ue in ues]
+    ue_lons = [ue.lon for ue in ues]
+    from ..faults.attacks import JammingAttack
+    jammer = JammingAttack(
+        sum(ue_lats) / len(ue_lats),
+        sum(ue_lons) / len(ue_lons),
+        radius_km=scenario.jam_radius_km)
+    schedule.add_jamming_window(jammer, scenario.jam_start_s,
+                                scenario.jam_stop_s)
+
+    resilient.attach_chaos(controller)
+    controller.subscribe(baseline.on_fault)
+    controller.arm(schedule)
+
+    # -- survival sampling --------------------------------------------------------
+    result = ChaosAvailabilityResult(scenario, n_sessions=len(ues))
+
+    def sample() -> None:
+        alive = sum(1 for ue in ues if resilient.session_alive(ue))
+        result.samples.append(SurvivalSample(
+            sim.now, alive / len(ues), baseline.alive_fraction()))
+
+    steps = int(scenario.horizon_s / scenario.sample_interval_s)
+    for k in range(steps + 1):
+        sim.schedule_at(k * scenario.sample_interval_s, sample)
+
+    sim.run(until=scenario.horizon_s)
+
+    # -- harvest ------------------------------------------------------------------
+    result.fault_log = controller.log_keys()
+    result.spacecore_outcomes = resilient.outcome_keys()
+    result.spacecore_recovery_latencies = [
+        RLF_DETECTION_S + o.total_delay_s + SPACECORE_LOCAL_EXCHANGE_S
+        for o in resilient.outcomes
+        if o.procedure == "recovery" and o.completed]
+    result.baseline_recovery_latencies = baseline.recovery_latencies
+    result.spacecore_lost = len(resilient.lost_sessions)
+    result.baseline_lost = baseline.lost
+    return result
+
+
+def write_chaos_report(path: str,
+                       result: ChaosAvailabilityResult) -> None:
+    """Emit the JSON artifact the report layer consumes."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Stand-alone entry point: run the default scenario, write JSON."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="chaos availability: session survival under churn")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ues", type=int, default=24)
+    parser.add_argument("--horizon", type=float, default=3600.0)
+    parser.add_argument("--output", default="CHAOS_availability.json")
+    args = parser.parse_args(argv)
+    scenario = ChaosScenario(seed=args.seed, n_ues=args.ues,
+                             horizon_s=args.horizon)
+    result = run_chaos_availability(scenario=scenario)
+    write_chaos_report(args.output, result)
+    print(f"faults injected: {len(result.fault_log)}")
+    print(f"final survival: SpaceCore "
+          f"{result.final_spacecore_survival:.3f} vs baseline "
+          f"{result.final_baseline_survival:.3f}")
+    print(f"lost sessions: SpaceCore {result.spacecore_lost}, "
+          f"baseline {result.baseline_lost}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,12 @@
-"""Failure and attack models (S3.3, Fig. 13, Fig. 19)."""
+"""Failure and attack models (S3.3, Fig. 13, Fig. 19) + chaos engine."""
 
+from .chaos import (
+    ChaosController,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    LinkChannelModel,
+)
 from .attacks import (
     HijackScenario,
     JammingAttack,
@@ -17,6 +24,8 @@ from .failures import (
 )
 
 __all__ = [
+    "ChaosController", "FaultEvent", "FaultKind", "FaultSchedule",
+    "LinkChannelModel",
     "HijackScenario", "JammingAttack", "hijack_initial_leak",
     "hijack_leak_rate",
     "hijack_leak_series", "mitm_comparison", "mitm_leak_rate",

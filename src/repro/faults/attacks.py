@@ -16,8 +16,8 @@ authentication vectors), the unit of Fig. 19's axes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..baselines.base import ACTIVE_FRACTION, Solution, StateResidency
 from ..constants import SESSION_INTERARRIVAL_S
@@ -158,6 +158,14 @@ class JammingAttack:
     lat: float
     lon: float
     radius_km: float = 1500.0
+    #: Links this jammer has taken down and not yet restored.  Mutable
+    #: bookkeeping (the frozen dataclass only freezes rebinding), so
+    #: ``apply``/``lift`` are idempotent and ``lift`` restores exactly
+    #: the marks this attack placed -- never failures injected by
+    #: other fault sources.
+    _downed: Set[FrozenSet[int]] = field(default_factory=set, init=False,
+                                         repr=False, compare=False,
+                                         hash=False)
 
     def affected_satellites(self, topology, t: float) -> List[int]:
         """Satellites whose links the jammer can currently disturb."""
@@ -169,31 +177,42 @@ class JammingAttack:
             self.lat, self.lon)
         return [int(sat) for sat in np.nonzero(ang <= threshold)[0]]
 
+    def _grid_links(self, topology, sat: int) -> List[FrozenSet[int]]:
+        plane, slot = topology.constellation.plane_slot(sat)
+        up, down = topology.constellation.intra_plane_neighbors(
+            plane, slot)
+        left, right = topology.constellation.inter_plane_neighbors(
+            plane, slot)
+        return [frozenset((sat, neighbor))
+                for neighbor in (up, down, left, right)]
+
     def apply(self, topology, t: float) -> int:
         """Take down every ISL touching an affected satellite.
 
         Returns the number of satellites disrupted.  The satellites
         themselves stay alive (jamming is a link-layer attack), so
-        recovery is instant once the jammer stops.
+        recovery is instant once the jammer stops.  Idempotent:
+        re-applying only downs links not already down, and links that
+        were failed by another source are left to that source.
         """
         affected = self.affected_satellites(topology, t)
         for sat in affected:
-            plane, slot = topology.constellation.plane_slot(sat)
-            up, down = topology.constellation.intra_plane_neighbors(
-                plane, slot)
-            left, right = topology.constellation.inter_plane_neighbors(
-                plane, slot)
-            for neighbor in (up, down, left, right):
-                topology.fail_isl(sat, neighbor)
+            for link in self._grid_links(topology, sat):
+                a, b = tuple(link)
+                if link in self._downed or topology.isl_marked_failed(a, b):
+                    continue
+                topology.fail_isl(a, b)
+                self._downed.add(link)
         return len(affected)
 
     def lift(self, topology, t: float) -> None:
-        """Stop jamming: restore the links."""
-        for sat in self.affected_satellites(topology, t):
-            plane, slot = topology.constellation.plane_slot(sat)
-            up, down = topology.constellation.intra_plane_neighbors(
-                plane, slot)
-            left, right = topology.constellation.inter_plane_neighbors(
-                plane, slot)
-            for neighbor in (up, down, left, right):
-                topology.recover_isl(sat, neighbor)
+        """Stop jamming: restore exactly the links this attack downed.
+
+        Idempotent, and safe to call at a different time than
+        ``apply`` -- the restoration set is the recorded one, not a
+        re-computation from the (moved) geometry.
+        """
+        for link in self._downed:
+            a, b = tuple(link)
+            topology.recover_isl(a, b)
+        self._downed.clear()

@@ -33,6 +33,11 @@ class PacketRecord:
     delivered_at_s: Optional[float] = None
     dropped: bool = False
     hops: int = 0
+    #: Frames re-sent after Gilbert-Elliott losses (bounded by the
+    #: simulation's max_retransmits).
+    retransmits: int = 0
+    #: Mid-flight path recomputations after a dead or hopeless link.
+    reroutes: int = 0
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -54,16 +59,34 @@ class PacketSimulation:
     def __init__(self, topology: GridTopology,
                  link_rate_mbps: float = 1000.0,
                  loss_probability: float = 0.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 channel_model=None,
+                 max_retransmits: int = 2,
+                 max_reroutes: int = 0,
+                 retransmit_timeout_s: float = 0.03):
         if link_rate_mbps <= 0:
             raise ValueError("link rate must be positive")
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss probability must be in [0, 1)")
+        if max_retransmits < 0 or max_reroutes < 0:
+            raise ValueError("retry caps must be non-negative")
+        if retransmit_timeout_s <= 0:
+            raise ValueError("retransmit timeout must be positive")
         self.topology = topology
         self.router = GeospatialRouter(topology)
         self.sim = Simulator()
         self.link_rate_mbps = link_rate_mbps
         self.loss_probability = loss_probability
+        #: Optional :class:`repro.faults.chaos.LinkChannelModel`; when
+        #: set, every hop samples the link's Gilbert-Elliott burst
+        #: process and lost frames are re-queued (bounded) instead of
+        #: silently vanishing.
+        self.channel_model = channel_model
+        self.max_retransmits = max_retransmits
+        #: Mid-flight reroutes around dead/hopeless links; 0 keeps the
+        #: legacy drop-on-failure behaviour.
+        self.max_reroutes = max_reroutes
+        self.retransmit_timeout_s = retransmit_timeout_s
         self._rng = random.Random(seed)
         #: When each directed link (a, b) next becomes free.
         self._link_free_at: Dict[Tuple[int, int], float] = {}
@@ -84,26 +107,46 @@ class PacketSimulation:
             record.dropped = True
             return record
         self.sim.schedule_at(max(at_s, self.sim.now), self._hop,
-                             record, route.path, 0, size_bytes, route_t)
+                             record, route.path, 0, size_bytes, route_t,
+                             (dest_lat, dest_lon))
         return record
 
     def _serialization_s(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / (self.link_rate_mbps * 1e6)
 
     def _hop(self, record: PacketRecord, path: List[int], index: int,
-             size_bytes: int, route_t: float) -> None:
+             size_bytes: int, route_t: float,
+             dest: Optional[Tuple[float, float]] = None) -> None:
         """Process the packet's arrival at ``path[index]``."""
         if index == len(path) - 1:
             record.delivered_at_s = self.sim.now
-            record.hops = len(path) - 1
             return
         current, nxt = path[index], path[index + 1]
         if not self.topology.isl_up(current, nxt):
-            record.dropped = True
+            self._reroute_or_drop(record, current, size_bytes, route_t,
+                                  dest)
             return
         if (self.loss_probability
                 and self._rng.random() < self.loss_probability):
             record.dropped = True
+            return
+        if (self.channel_model is not None
+                and self.channel_model.frame_lost(current, nxt)):
+            if record.retransmits < self.max_retransmits:
+                # Re-queue the frame on the same link after an ARQ
+                # timeout; the burst process keeps advancing, so a
+                # short burst usually clears before the cap.
+                record.retransmits += 1
+                self.sim.schedule_at(
+                    self.sim.now + self.retransmit_timeout_s,
+                    self._hop, record, path, index, size_bytes, route_t,
+                    dest)
+                return
+            # Retransmit budget exhausted: treat the link as hopeless
+            # for this packet and route around it.
+            self._reroute_or_drop(record, current, size_bytes, route_t,
+                                  dest,
+                                  avoid={frozenset((current, nxt))})
             return
         link = (current, nxt)
         serialization = self._serialization_s(size_bytes)
@@ -112,8 +155,32 @@ class PacketSimulation:
         self._link_free_at[link] = start + serialization
         propagation = self.topology.isl_delay_s(current, nxt, route_t)
         arrival = start + serialization + propagation
+        # Hops are counted as frames leave links so the tally stays
+        # correct across mid-flight reroutes.
+        record.hops += 1
         self.sim.schedule_at(arrival, self._hop, record, path,
-                             index + 1, size_bytes, route_t)
+                             index + 1, size_bytes, route_t, dest)
+
+    def _reroute_or_drop(self, record: PacketRecord, current: int,
+                         size_bytes: int, route_t: float,
+                         dest: Optional[Tuple[float, float]],
+                         avoid=None) -> None:
+        """Graceful degradation: recompute the path from here, bounded.
+
+        With ``max_reroutes=0`` (the default) this preserves the
+        legacy semantics -- a failed link mid-flight drops the packet.
+        """
+        if (dest is None or record.reroutes >= self.max_reroutes):
+            record.dropped = True
+            return
+        record.reroutes += 1
+        route = self.router.route(current, dest[0], dest[1], route_t,
+                                  avoid_links=avoid)
+        if not route.delivered:
+            record.dropped = True
+            return
+        self.sim.schedule_at(self.sim.now, self._hop, record,
+                             route.path, 0, size_bytes, route_t, dest)
 
     # -- running & results ------------------------------------------------------------
 

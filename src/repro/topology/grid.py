@@ -56,24 +56,34 @@ class GridTopology:
         return self._fault_epoch
 
     def fail_satellite(self, sat: int) -> None:
-        """Remove a satellite (radiation/debris failure, S3.3)."""
-        self._failed_sats.add(sat)
-        self._fault_epoch += 1
+        """Remove a satellite (radiation/debris failure, S3.3).
+
+        Idempotent: failing an already-failed satellite neither bumps
+        the fault epoch nor invalidates liveness caches.
+        """
+        if sat not in self._failed_sats:
+            self._failed_sats.add(sat)
+            self._fault_epoch += 1
 
     def recover_satellite(self, sat: int) -> None:
         """Bring a failed satellite back into the topology."""
-        self._failed_sats.discard(sat)
-        self._fault_epoch += 1
+        if sat in self._failed_sats:
+            self._failed_sats.discard(sat)
+            self._fault_epoch += 1
 
     def fail_isl(self, sat_a: int, sat_b: int) -> None:
-        """Take one ISL down (laser misalignment, S3.3)."""
-        self._failed_isls.add(frozenset((sat_a, sat_b)))
-        self._fault_epoch += 1
+        """Take one ISL down (laser misalignment, S3.3). Idempotent."""
+        key = frozenset((sat_a, sat_b))
+        if key not in self._failed_isls:
+            self._failed_isls.add(key)
+            self._fault_epoch += 1
 
     def recover_isl(self, sat_a: int, sat_b: int) -> None:
-        """Restore a failed inter-satellite link."""
-        self._failed_isls.discard(frozenset((sat_a, sat_b)))
-        self._fault_epoch += 1
+        """Restore a failed inter-satellite link. Idempotent."""
+        key = frozenset((sat_a, sat_b))
+        if key in self._failed_isls:
+            self._failed_isls.discard(key)
+            self._fault_epoch += 1
 
     def is_up(self, sat: int) -> bool:
         """Whether a satellite is alive."""
@@ -83,6 +93,16 @@ class GridTopology:
         """Whether the link between two satellites is usable."""
         return (self.is_up(sat_a) and self.is_up(sat_b)
                 and frozenset((sat_a, sat_b)) not in self._failed_isls)
+
+    def isl_marked_failed(self, sat_a: int, sat_b: int) -> bool:
+        """Whether the link itself carries a failure mark.
+
+        Distinct from ``not isl_up``: a link with live endpoints and no
+        mark is up, while a marked link stays down even after its
+        endpoints recover.  Fault injectors use this to restore only
+        the marks they themselves placed.
+        """
+        return frozenset((sat_a, sat_b)) in self._failed_isls
 
     # -- neighbourhood ---------------------------------------------------------
 

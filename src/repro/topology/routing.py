@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -150,13 +150,18 @@ class GeospatialRouter:
     # -- end-to-end ---------------------------------------------------------------
 
     def route(self, src_sat: int, dest_lat: float, dest_lon: float,
-              t: float) -> RouteResult:
+              t: float,
+              avoid_links: Optional[Set[FrozenSet[int]]] = None
+              ) -> RouteResult:
         """Forward hop by hop from ``src_sat`` to the destination's cell.
 
         Failed satellites/ISLs deflect the packet: when the preferred
         direction is dead, the packet takes the live neighbour that
         minimises the remaining hop metric (and never revisits a node,
-        bounding detours).
+        bounding detours).  ``avoid_links`` marks extra links to treat
+        as down -- e.g. links the packet layer found to be inside a
+        Gilbert-Elliott loss burst -- so degraded links can be routed
+        around without mutating the shared topology.
         """
         topo = self.topology
         # One cached snapshot and one destination (alpha, gamma)
@@ -180,11 +185,14 @@ class GeospatialRouter:
                     return RouteResult(True, path, delay, distance,
                                        degraded=True)
                 preferred = self._best_live_neighbor_snap(
-                    snap, current, dest_reps, visited)
+                    snap, current, dest_reps, visited, avoid_links)
             if (preferred is None or preferred in visited
-                    or not topo.isl_up(current, preferred)):
+                    or not topo.isl_up(current, preferred)
+                    or (avoid_links
+                        and frozenset((current, preferred))
+                        in avoid_links)):
                 preferred = self._best_live_neighbor_snap(
-                    snap, current, dest_reps, visited)
+                    snap, current, dest_reps, visited, avoid_links)
             if preferred is None:
                 return RouteResult(False, path, delay, distance)
             hop_km = self._hop_km(snap, current, preferred)
@@ -234,11 +242,16 @@ class GeospatialRouter:
     def _best_live_neighbor_snap(self, snap: ConstellationSnapshot,
                                  sat: int,
                                  dest_reps: Sequence[Tuple[float, float]],
-                                 visited: set) -> Optional[int]:
+                                 visited: set,
+                                 avoid_links: Optional[
+                                     Set[FrozenSet[int]]] = None
+                                 ) -> Optional[int]:
         best = None
         best_metric = math.inf
         for nbr in self.topology.isl_neighbors(sat):
             if nbr in visited:
+                continue
+            if avoid_links and frozenset((sat, nbr)) in avoid_links:
                 continue
             da, dg = self._hop_offsets_snap(snap, nbr, dest_reps)
             metric = abs(da) + abs(dg)

@@ -1,0 +1,304 @@
+"""Tests for the event-driven chaos engine (scheduled fault injection).
+
+The contract under test is *determinism*: the same (scenario, seed)
+pair must produce a bit-identical fault event list, controller log,
+and packet-loss pattern on every run.  CI runs this module under
+several CHAOS_SEED values, so nothing below may depend on a particular
+seed's draw -- only on seed-stable invariants.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.faults import (
+    ChaosController,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    JammingAttack,
+    LinkChannelModel,
+)
+from repro.faults.failures import satellite_decay_series
+from repro.orbits import IdealPropagator, starlink
+from repro.sim import Simulator
+from repro.topology import GridTopology
+from repro.topology.routing import DijkstraRouter
+
+#: CI sweeps this over several values; the assertions must hold for all.
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+BEIJING = (math.radians(39.9), math.radians(116.4))
+
+
+@pytest.fixture()
+def topology():
+    return GridTopology(IdealPropagator(starlink()), [])
+
+
+def _decay_schedule(seed):
+    return FaultSchedule().add_satellite_decay(
+        range(200), horizon_s=3600.0, acceleration=2.0e5,
+        repair_delay_s=600.0, seed=seed)
+
+
+class TestFaultSchedule:
+    def test_decay_is_seed_reproducible(self):
+        a = _decay_schedule(SEED).events()
+        b = _decay_schedule(SEED).events()
+        assert [e.key() for e in a] == [e.key() for e in b]
+        assert len(a) > 0
+
+    def test_different_seeds_draw_different_times(self):
+        a = _decay_schedule(SEED).events()
+        b = _decay_schedule(SEED + 1).events()
+        assert [e.key() for e in a] != [e.key() for e in b]
+
+    def test_decay_respects_horizon(self):
+        for event in _decay_schedule(SEED).events():
+            assert 0.0 <= event.time <= 3600.0
+
+    def test_repair_follows_failure(self):
+        down_at = {}
+        for event in _decay_schedule(SEED).events():
+            if event.kind is FaultKind.SAT_FAIL:
+                down_at[event.target] = event.time
+            elif event.kind is FaultKind.SAT_RECOVER:
+                assert event.time == pytest.approx(
+                    down_at[event.target] + 600.0)
+
+    def test_zero_hazard_schedules_nothing(self):
+        schedule = FaultSchedule().add_satellite_decay(
+            range(100), horizon_s=3600.0, monthly_hazard=0.0, seed=SEED)
+        assert len(schedule) == 0
+
+    def test_link_bursts_pair_up_and_close(self):
+        links = [(0, 1), (4, 5), (100, 101)]
+        schedule = FaultSchedule().add_link_bursts(
+            links, horizon_s=5000.0, step_s=5.0, p_good_to_bad=0.05,
+            seed=SEED)
+        open_links = set()
+        for event in schedule.events():
+            if event.kind is FaultKind.ISL_FAIL:
+                assert event.target not in open_links
+                open_links.add(event.target)
+            elif event.kind is FaultKind.ISL_RECOVER:
+                open_links.discard(event.target)
+        assert not open_links, "an outage leaked past the horizon"
+
+    def test_link_bursts_reproducible_per_link(self):
+        make = lambda: FaultSchedule().add_link_bursts(
+            [(7, 8)], horizon_s=8000.0, step_s=5.0,
+            p_good_to_bad=0.05, seed=SEED).events()
+        assert [e.key() for e in make()] == [e.key() for e in make()]
+
+    def test_jamming_window_events(self):
+        attack = JammingAttack(*BEIJING, radius_km=1000.0)
+        events = FaultSchedule().add_jamming_window(
+            attack, 100.0, 400.0).events()
+        assert [e.kind for e in events] == [FaultKind.JAM_START,
+                                            FaultKind.JAM_STOP]
+        assert events[0].attack is attack
+        assert events[0].key()[2] == events[1].key()[2]
+
+    def test_events_sorted_by_time(self):
+        schedule = _decay_schedule(SEED).add_jamming_window(
+            JammingAttack(*BEIJING), 10.0, 20.0)
+        times = [e.time for e in schedule.events()]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize("bad_call", [
+        lambda s: s.add(FaultEvent(-1.0, FaultKind.SAT_FAIL, (0,))),
+        lambda s: s.add_satellite_decay([0], horizon_s=-1.0),
+        lambda s: s.add_satellite_decay([0], 10.0, acceleration=0.0),
+        lambda s: s.add_satellite_decay([0], 10.0, monthly_hazard=1.5),
+        lambda s: s.add_satellite_decay([0], 10.0, monthly_hazard=-0.1),
+        lambda s: s.add_link_bursts([(0, 1)], horizon_s=-5.0),
+        lambda s: s.add_link_bursts([(0, 1)], 10.0, step_s=0.0),
+        lambda s: s.add_jamming_window(JammingAttack(0, 0), -1.0, 5.0),
+        lambda s: s.add_jamming_window(JammingAttack(0, 0), 9.0, 5.0),
+    ])
+    def test_invalid_parameters_rejected(self, bad_call):
+        with pytest.raises(ValueError):
+            bad_call(FaultSchedule())
+
+
+class TestChaosController:
+    def test_applies_events_and_logs(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        schedule = (FaultSchedule()
+                    .add(FaultEvent(1.0, FaultKind.SAT_FAIL, (42,)))
+                    .add(FaultEvent(2.0, FaultKind.ISL_FAIL, (0, 1)))
+                    .add(FaultEvent(3.0, FaultKind.SAT_RECOVER, (42,))))
+        assert controller.arm(schedule) == 3
+        sim.run()
+        assert topology.is_up(42)
+        assert not topology.isl_up(0, 1)
+        assert controller.log_keys() == [e.key()
+                                         for e in schedule.events()]
+
+    def test_fault_epoch_advances_per_applied_event(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        before = topology.fault_epoch
+        controller.arm(FaultSchedule()
+                       .add(FaultEvent(1.0, FaultKind.SAT_FAIL, (5,)))
+                       .add(FaultEvent(2.0, FaultKind.SAT_FAIL, (6,))))
+        sim.run()
+        assert topology.fault_epoch == before + 2
+
+    def test_subscribers_see_every_event_in_order(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        seen = []
+        controller.subscribe(lambda e: seen.append(e.key()))
+        controller.arm(_decay_schedule(SEED))
+        sim.run()
+        assert seen == controller.log_keys()
+
+    def test_seeded_run_is_bit_reproducible(self, topology):
+        def run_once():
+            sim = Simulator()
+            controller = ChaosController(
+                sim, GridTopology(topology.propagator, []))
+            controller.arm(_decay_schedule(SEED).add_jamming_window(
+                JammingAttack(*BEIJING, radius_km=800.0), 50.0, 900.0))
+            sim.run()
+            return controller.log_keys()
+
+        assert run_once() == run_once()
+
+    def test_jamming_active_tracks_open_windows(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        controller.arm(FaultSchedule().add_jamming_window(
+            JammingAttack(*BEIJING, radius_km=500.0), 10.0, 20.0))
+        sim.run(until=15.0)
+        assert controller.jamming_active()
+        sim.run()
+        assert not controller.jamming_active()
+
+
+class TestIdempotentTopologyFaults:
+    def test_double_fail_bumps_epoch_once(self, topology):
+        before = topology.fault_epoch
+        topology.fail_satellite(3)
+        topology.fail_satellite(3)
+        assert topology.fault_epoch == before + 1
+
+    def test_recover_of_healthy_satellite_is_noop(self, topology):
+        before = topology.fault_epoch
+        topology.recover_satellite(3)
+        assert topology.fault_epoch == before
+
+    def test_isl_fail_recover_idempotent(self, topology):
+        before = topology.fault_epoch
+        topology.fail_isl(0, 1)
+        topology.fail_isl(1, 0)          # same undirected link
+        topology.recover_isl(0, 1)
+        topology.recover_isl(0, 1)
+        assert topology.fault_epoch == before + 2
+        assert topology.isl_up(0, 1)
+
+
+class TestJammingIdempotency:
+    """Regression: repeated apply/lift cycles must keep the epoch
+    monotone and never leave the DijkstraRouter serving a stale graph.
+    """
+
+    def test_repeated_cycles_monotone_epoch_and_fresh_routes(
+            self, topology):
+        attack = JammingAttack(*BEIJING, radius_km=1000.0)
+        router = DijkstraRouter(topology)
+        sat = attack.affected_satellites(topology, 0.0)[0]
+        neighbor = next(iter(topology.isl_neighbors(sat)))
+        baseline_edges = router._graph(0.0).number_of_edges()
+        epochs = [topology.fault_epoch]
+        for _ in range(3):
+            assert attack.apply(topology, 0.0) > 0
+            epochs.append(topology.fault_epoch)
+            assert not topology.isl_up(sat, neighbor)
+            # The LRU is keyed by fault epoch: the post-jam graph must
+            # be rebuilt without the downed links, never served stale.
+            jammed = router._graph(0.0)
+            assert not jammed.has_edge(sat, neighbor)
+            assert jammed.number_of_edges() < baseline_edges
+            attack.lift(topology, 0.0)
+            epochs.append(topology.fault_epoch)
+            assert topology.isl_up(sat, neighbor)
+            assert router._graph(0.0).number_of_edges() == baseline_edges
+        assert epochs == sorted(epochs)
+
+    def test_double_apply_downs_nothing_new(self, topology):
+        attack = JammingAttack(*BEIJING, radius_km=1000.0)
+        attack.apply(topology, 0.0)
+        epoch = topology.fault_epoch
+        attack.apply(topology, 0.0)
+        assert topology.fault_epoch == epoch
+
+    def test_lift_spares_failures_from_other_sources(self, topology):
+        attack = JammingAttack(*BEIJING, radius_km=1000.0)
+        sat = attack.affected_satellites(topology, 0.0)[0]
+        neighbor = next(iter(topology.isl_neighbors(sat)))
+        topology.fail_isl(sat, neighbor)    # decay, not jamming
+        attack.apply(topology, 0.0)
+        attack.lift(topology, 0.0)
+        assert not topology.isl_up(sat, neighbor)
+
+    def test_double_lift_is_noop(self, topology):
+        attack = JammingAttack(*BEIJING, radius_km=1000.0)
+        attack.apply(topology, 0.0)
+        attack.lift(topology, 0.0)
+        epoch = topology.fault_epoch
+        attack.lift(topology, 0.0)
+        assert topology.fault_epoch == epoch
+
+
+class TestLinkChannelModel:
+    def test_loss_pattern_reproducible(self):
+        a = LinkChannelModel(seed=SEED)
+        b = LinkChannelModel(seed=SEED)
+        assert ([a.frame_lost(3, 4) for _ in range(200)]
+                == [b.frame_lost(3, 4) for _ in range(200)])
+
+    def test_links_are_independent_channels(self):
+        model = LinkChannelModel(seed=SEED, p_good_to_bad=0.2)
+        a = [model.frame_lost(0, 1) for _ in range(300)]
+        b = [model.frame_lost(10, 11) for _ in range(300)]
+        assert a != b
+
+    def test_link_direction_does_not_matter(self):
+        model = LinkChannelModel(seed=SEED)
+        assert model.channel(5, 6) is model.channel(6, 5)
+
+    def test_burst_state_visible(self):
+        model = LinkChannelModel(seed=SEED, p_good_to_bad=1.0,
+                                 p_bad_to_good=0.0)
+        model.frame_lost(0, 1)
+        assert model.in_burst(0, 1)
+
+
+class TestFailuresValidation:
+    def test_default_hazard_used_when_none(self):
+        series = satellite_decay_series(1000, months=24, seed=SEED)
+        assert len(series) == 24
+        assert series[-1].accumulated > 0
+
+    def test_explicit_hazard_reproducible(self):
+        def run():
+            return [p.accumulated for p in
+                    satellite_decay_series(500, 12, monthly_hazard=0.01,
+                                           seed=SEED)]
+        assert run() == run()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fleet_size=-1, months=12),
+        dict(fleet_size=10, months=-1),
+        dict(fleet_size=10, months=12, monthly_hazard=-0.01),
+        dict(fleet_size=10, months=12, monthly_hazard=1.01),
+    ])
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            satellite_decay_series(**kwargs)
