@@ -77,14 +77,14 @@ def _cmd_table4(args) -> int:
 
 def _cmd_fig10(args) -> int:
     from .baselines import ALL_OPTIONS
-    from .experiments.signaling import signaling_load
+    from .experiments.signaling import sweep
     from .orbits import by_name, default_ground_stations
     c = by_name(args.constellation)
     stations = default_ground_stations(
         min(max(6, c.total_satellites // 60), 26))
     print(f"Fig. 10 -- {c.name}, capacity {args.capacity}:")
-    for factory in ALL_OPTIONS:
-        load = signaling_load(factory(), c, args.capacity, stations)
+    for load in sweep(ALL_OPTIONS, [c], [args.capacity], stations,
+                      workers=args.workers):
         sess, mob = load.satellite_rows()
         print(f"  {load.solution:30s} SAT sess={sess:9.0f}/s "
               f"mob={mob:9.0f}/s GS={load.ground_station_per_s:10.0f}/s")
@@ -132,14 +132,14 @@ def _cmd_fig19(args) -> int:
 
 def _cmd_fig20(args) -> int:
     from .baselines import ALL_SOLUTIONS
-    from .experiments.signaling import signaling_load
+    from .experiments.signaling import sweep
     from .orbits import by_name, default_ground_stations
     c = by_name(args.constellation)
     stations = default_ground_stations(
         min(max(6, c.total_satellites // 60), 26))
     print(f"Fig. 20 -- {c.name}, capacity {args.capacity}:")
-    for factory in ALL_SOLUTIONS:
-        load = signaling_load(factory(), c, args.capacity, stations)
+    for load in sweep(ALL_SOLUTIONS, [c], [args.capacity], stations,
+                      workers=args.workers):
         print(f"  {load.solution:10s} "
               f"SAT={load.satellite_hotspot_per_s:10.0f}/s "
               f"GS={load.ground_station_per_s:10.0f}/s")
@@ -158,7 +158,24 @@ def _cmd_fig21(args) -> int:
 
 def _cmd_emulate(args) -> int:
     from .orbits import by_name
-    from .sim import NeighborhoodEmulation
+    from .sim import CohortEmulation, NeighborhoodEmulation
+    if args.cohorts:
+        emulation = CohortEmulation(
+            by_name(args.constellation), num_ues=args.ues,
+            seed=args.seed, session_interval_s=args.interval,
+            n_cohorts=args.cohorts)
+        stats = emulation.run(args.duration)
+        print(f"cohort-emulated {stats.duration_s:.0f}s x "
+              f"{stats.ue_count} UEs ({stats.n_cohorts} cohorts) on "
+              f"{args.constellation}:")
+        print(f"  sessions: {stats.sessions_established} "
+              f"(rate {stats.session_rate_per_ue:.4f}/UE-s, predicted "
+              f"{emulation.predicted_session_rate_per_ue():.4f})")
+        print(f"  handovers: {stats.handovers}  "
+              f"releases: {stats.releases}  mobility regs: "
+              f"{stats.mobility_registrations}")
+        print(f"  signaling messages: {stats.signaling_messages}")
+        return 0
     emulation = NeighborhoodEmulation(
         by_name(args.constellation), num_ues=args.ues, seed=args.seed,
         session_interval_s=args.interval)
@@ -179,10 +196,32 @@ def _cmd_chaos(args) -> int:
     from .experiments import (
         ChaosScenario,
         run_chaos_availability,
+        run_chaos_trials,
         write_chaos_report,
+        write_monte_carlo_report,
     )
     scenario = ChaosScenario(seed=args.seed, n_ues=args.ues,
                              horizon_s=args.horizon)
+    if args.trials > 1:
+        mc = run_chaos_trials(n_trials=args.trials, base_seed=args.seed,
+                              scenario=scenario, workers=args.workers)
+        summary = mc.summary()
+        print(f"chaos monte carlo -- {args.trials} trials x "
+              f"{args.ues} UEs, seed {args.seed}:")
+        print(f"  faults injected: {summary['faults_injected']}")
+        print(f"  mean survival: spacecore="
+              f"{summary['spacecore_mean_survival']:.3f} "
+              f"baseline={summary['baseline_mean_survival']:.3f}")
+        print(f"  min survival:  spacecore="
+              f"{summary['spacecore_min_survival']:.3f} "
+              f"baseline={summary['baseline_min_survival']:.3f}")
+        print(f"  lost sessions: SpaceCore "
+              f"{summary['spacecore_lost']}, baseline "
+              f"{summary['baseline_lost']}")
+        if args.output:
+            write_monte_carlo_report(args.output, mc)
+            print(f"  wrote {args.output}")
+        return 0
     result = run_chaos_availability(scenario=scenario)
     print(f"chaos availability -- {args.ues} UEs, "
           f"{args.horizon:.0f}s horizon, seed {args.seed}:")
@@ -196,6 +235,40 @@ def _cmd_chaos(args) -> int:
     if args.output:
         write_chaos_report(args.output, result)
         print(f"  wrote {args.output}")
+    return 0
+
+
+def _cmd_loadpoint(args) -> int:
+    import time
+    from .baselines import ALL_SOLUTIONS
+    from .experiments import cohort_load_point
+    from .orbits import by_name
+    factories = {f().name: f for f in ALL_SOLUTIONS}
+    if args.solution not in factories:
+        print(f"unknown solution {args.solution!r}; pick one of "
+              f"{sorted(factories)}")
+        return 1
+    start = time.perf_counter()
+    stats = cohort_load_point(
+        factories[args.solution], by_name(args.constellation),
+        n_ues=args.ues, duration_s=args.duration, seed=args.seed,
+        n_cohorts=args.cohorts)
+    wall_s = time.perf_counter() - start
+    print(f"cohort load point -- {args.solution} on "
+          f"{args.constellation}, {args.ues} UEs x "
+          f"{args.duration:.0f}s ({stats.n_cohorts} cohorts):")
+    print(f"  events: {stats.events_total} "
+          f"({stats.events_per_ue_s:.5f}/UE-s)")
+    for name, count in sorted(stats.events_by_procedure.items()):
+        print(f"    {name}: {count}")
+    print(f"  sessions: {stats.sessions_established} (rate "
+          f"{stats.session_rate_per_ue:.4f}/UE-s)  releases: "
+          f"{stats.releases}")
+    print(f"  messages: total={stats.signaling_messages} "
+          f"satellite={stats.satellite_messages} "
+          f"crossing={stats.crossing_messages}")
+    print(f"  wall clock: {wall_s:.3f}s "
+          f"({args.ues / wall_s:,.0f} UEs/s)")
     return 0
 
 
@@ -224,6 +297,8 @@ _COMMANDS: Dict[str, tuple] = {
     "fig21": (_cmd_fig21, "user-level stalling"),
     "emulate": (_cmd_emulate, "run the live-stack emulation"),
     "chaos": (_cmd_chaos, "session survival under injected churn"),
+    "loadpoint": (_cmd_loadpoint,
+                  "population-scale load point (cohort engine)"),
 }
 
 
@@ -239,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig10", "fig20"):
             sub.add_argument("--constellation", default="Starlink")
             sub.add_argument("--capacity", type=int, default=30_000)
+            sub.add_argument("--workers", type=int, default=None,
+                             help="shard design points across N worker "
+                                  "processes (default: REPRO_WORKERS "
+                                  "or serial)")
         if name == "table3":
             sub.add_argument("--samples", type=int, default=20_000)
         if name == "fig18b":
@@ -252,11 +331,28 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--duration", type=float, default=600.0)
             sub.add_argument("--interval", type=float, default=106.9)
             sub.add_argument("--seed", type=int, default=0)
+            sub.add_argument("--cohorts", type=int, default=None,
+                             help="use the vectorized cohort engine "
+                                  "with N cohorts (for large --ues)")
         if name == "chaos":
             sub.add_argument("--ues", type=int, default=24)
             sub.add_argument("--horizon", type=float, default=3600.0)
             sub.add_argument("--seed", type=int, default=0)
+            sub.add_argument("--trials", type=int, default=1,
+                             help="Monte Carlo trials with derived "
+                                  "per-trial seeds")
+            sub.add_argument("--workers", type=int, default=None,
+                             help="shard trials across N worker "
+                                  "processes (default: REPRO_WORKERS "
+                                  "or serial)")
             sub.add_argument("--output", default=None)
+        if name == "loadpoint":
+            sub.add_argument("--constellation", default="Starlink")
+            sub.add_argument("--solution", default="SpaceCore")
+            sub.add_argument("--ues", type=int, default=1_000_000)
+            sub.add_argument("--duration", type=float, default=3600.0)
+            sub.add_argument("--cohorts", type=int, default=256)
+            sub.add_argument("--seed", type=int, default=0)
     return parser
 
 

@@ -18,10 +18,13 @@ from .bottleneck import (
 )
 from .chaos_availability import (
     ChaosAvailabilityResult,
+    ChaosMonteCarlo,
     ChaosScenario,
     SurvivalSample,
     run_chaos_availability,
+    run_chaos_trials,
     write_chaos_report,
+    write_monte_carlo_report,
 )
 from .cpu import (
     FIG7_RATES,
@@ -65,6 +68,7 @@ from .sensitivity import (
 from .signaling import (
     ACTIVE_SATELLITE_FRACTION,
     SignalingLoad,
+    cohort_load_point,
     mean_hops_to_ground,
     reduction_factors,
     signaling_load,
@@ -94,8 +98,9 @@ __all__ = [
     "gateway_reachability",
     "GatewayConcentration", "deadline_violation_factor",
     "gateway_concentration", "registration_delay_cdf",
-    "ChaosAvailabilityResult", "ChaosScenario", "SurvivalSample",
-    "run_chaos_availability", "write_chaos_report",
+    "ChaosAvailabilityResult", "ChaosMonteCarlo", "ChaosScenario",
+    "SurvivalSample", "run_chaos_availability", "run_chaos_trials",
+    "write_chaos_report", "write_monte_carlo_report",
     "FIG7_RATES", "FIG8_RATES", "LatencyPoint", "fig7_cpu_breakdown",
     "fig7_saturation_rate", "fig8_latency_sweep",
     "LeakageStudy", "fig19_study", "final_hijack_leaks",
@@ -104,8 +109,8 @@ __all__ = [
     "solution_latency_s",
     "RelayComparison", "RelayTrial", "compare_ideal_vs_j4",
     "path_stretch_vs_optimal", "relay_trials",
-    "ACTIVE_SATELLITE_FRACTION", "SignalingLoad", "mean_hops_to_ground",
-    "reduction_factors", "signaling_load", "sweep",
+    "ACTIVE_SATELLITE_FRACTION", "SignalingLoad", "cohort_load_point",
+    "mean_hops_to_ground", "reduction_factors", "signaling_load", "sweep",
     "TemporalSample", "load_variation", "satellite_ground_track_load",
     "StallResult", "fig21_comparison", "satellite_pass_impact",
     "stall_summary", "tcp_recovery_time_s",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -47,6 +47,7 @@ from ..faults.chaos import ChaosController, FaultKind, FaultSchedule
 from ..faults.failures import procedure_success_probability
 from ..fiveg.messages import ProcedureKind
 from ..orbits.constellation import Constellation, starlink
+from ..runtime.parallel import run_sharded, seed_for
 from ..sim.engine import Simulator
 
 #: Four radio messages of the localized Fig. 16a exchange at LEO
@@ -368,6 +369,101 @@ def write_chaos_report(path: str,
         json.dump(result.to_json(), fh, indent=2, sort_keys=True)
 
 
+# ---------------------------------------------------------------------------
+# Sharded Monte Carlo over seeds
+# ---------------------------------------------------------------------------
+
+def _chaos_trial(work) -> Dict:
+    """One Monte Carlo shard: a fully seeded churn run, JSON payload.
+
+    Module-level so worker processes can unpickle it; returns plain
+    dicts so the parent never needs live simulator objects back.
+    """
+    trial, base_seed, scenario, constellation = work
+    trial_scenario = replace(
+        scenario, seed=seed_for(base_seed, f"chaos-trial:{trial}"))
+    result = run_chaos_availability(constellation=constellation,
+                                    scenario=trial_scenario)
+    payload = result.to_json()
+    payload["trial"] = trial
+    return payload
+
+
+@dataclass
+class ChaosMonteCarlo:
+    """Per-trial payloads plus the aggregate survival summary.
+
+    The JSON form contains nothing about the execution medium (worker
+    count, timing), so ``--workers 1`` and ``--workers N`` artifacts
+    compare bit-for-bit.
+    """
+
+    base_seed: int
+    trials: List[Dict] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def _finals(self, system: str) -> List[float]:
+        return [t["curves"][f"{system}_survival"][-1]
+                for t in self.trials if t["curves"][f"{system}_survival"]]
+
+    def summary(self) -> Dict:
+        """Across-trial aggregates of the survival story."""
+        sc, base = self._finals("spacecore"), self._finals("baseline")
+        return {
+            "n_trials": self.n_trials,
+            "spacecore_mean_survival": sum(sc) / len(sc) if sc else 0.0,
+            "spacecore_min_survival": min(sc) if sc else 0.0,
+            "baseline_mean_survival": (sum(base) / len(base)
+                                       if base else 0.0),
+            "baseline_min_survival": min(base) if base else 0.0,
+            "spacecore_lost": sum(t["lost_sessions"]["spacecore"]
+                                  for t in self.trials),
+            "baseline_lost": sum(t["lost_sessions"]["baseline"]
+                                 for t in self.trials),
+            "faults_injected": sum(len(t["fault_log"])
+                                   for t in self.trials),
+        }
+
+    def to_json(self) -> Dict:
+        """The Monte Carlo artifact: base seed, summary, every trial."""
+        return {
+            "base_seed": self.base_seed,
+            "summary": self.summary(),
+            "trials": self.trials,
+        }
+
+
+def run_chaos_trials(n_trials: int = 8, base_seed: int = 0,
+                     scenario: Optional[ChaosScenario] = None,
+                     constellation: Optional[Constellation] = None,
+                     workers: Optional[int] = None) -> ChaosMonteCarlo:
+    """Monte Carlo churn: ``n_trials`` independent seeded runs.
+
+    Trial ``k`` runs the scenario with seed
+    ``seed_for(base_seed, "chaos-trial:k")`` -- derivation happens
+    identically whether the trials execute serially or sharded across
+    a process pool, and results are assembled by trial index, so the
+    artifact is bit-identical for any worker count.
+    """
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    scenario = scenario if scenario is not None else ChaosScenario()
+    work = [(trial, base_seed, scenario, constellation)
+            for trial in range(n_trials)]
+    return ChaosMonteCarlo(base_seed=base_seed,
+                           trials=run_sharded(_chaos_trial, work,
+                                              workers=workers))
+
+
+def write_monte_carlo_report(path: str, result: ChaosMonteCarlo) -> None:
+    """Emit the Monte Carlo JSON artifact (bit-stable across workers)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Stand-alone entry point: run the default scenario, write JSON."""
     import argparse
@@ -376,10 +472,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--ues", type=int, default=24)
     parser.add_argument("--horizon", type=float, default=3600.0)
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--output", default="CHAOS_availability.json")
     args = parser.parse_args(argv)
     scenario = ChaosScenario(seed=args.seed, n_ues=args.ues,
                              horizon_s=args.horizon)
+    if args.trials > 1:
+        mc = run_chaos_trials(n_trials=args.trials, base_seed=args.seed,
+                              scenario=scenario, workers=args.workers)
+        write_monte_carlo_report(args.output, mc)
+        summary = mc.summary()
+        print(f"monte carlo: {args.trials} trials, "
+              f"{summary['faults_injected']} faults injected")
+        print(f"mean survival: SpaceCore "
+              f"{summary['spacecore_mean_survival']:.3f} vs baseline "
+              f"{summary['baseline_mean_survival']:.3f}")
+        print(f"wrote {args.output}")
+        return 0
     result = run_chaos_availability(scenario=scenario)
     write_chaos_report(args.output, result)
     print(f"faults injected: {len(result.fault_log)}")

@@ -10,7 +10,7 @@ latency of registrations and session establishments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines.options import option4_all_functions
 from ..fiveg.messages import (
@@ -25,6 +25,7 @@ from ..hardware.model import (
     cpu_breakdown,
 )
 from ..hardware.queueing import LatencyEstimate, procedure_latency
+from ..runtime.parallel import run_sharded
 
 #: Fig. 7's x-axis.
 FIG7_RATES: Tuple[int, ...] = (10, 20, 30, 40, 50, 70, 100, 150, 200, 250)
@@ -37,16 +38,23 @@ _REGISTRATION_FLOW = (INITIAL_REGISTRATION_FLOW
                       + MOBILITY_REGISTRATION_FLOW)
 
 
-def fig7_cpu_breakdown(platform: HardwarePlatform,
-                       rates: Sequence[int] = FIG7_RATES
-                       ) -> List[CpuBreakdown]:
-    """Per-NF CPU utilisation at each registration rate (Fig. 7)."""
+def _fig7_point(work) -> CpuBreakdown:
+    """One registration-rate point of the Fig. 7 curve, shardable."""
+    platform, rate = work
     option = option4_all_functions()
     half_each = [m for m in INITIAL_REGISTRATION_FLOW] + \
         [m for m in MOBILITY_REGISTRATION_FLOW]
-    return [cpu_breakdown(platform, rate / 2.0, half_each,
-                          option.on_board)
-            for rate in rates]
+    return cpu_breakdown(platform, rate / 2.0, half_each,
+                         option.on_board)
+
+
+def fig7_cpu_breakdown(platform: HardwarePlatform,
+                       rates: Sequence[int] = FIG7_RATES,
+                       workers: Optional[int] = None
+                       ) -> List[CpuBreakdown]:
+    """Per-NF CPU utilisation at each registration rate (Fig. 7)."""
+    return run_sharded(_fig7_point, [(platform, rate) for rate in rates],
+                       workers=workers)
 
 
 def fig7_saturation_rate(platform: HardwarePlatform,
@@ -71,26 +79,32 @@ class LatencyPoint:
     session: LatencyEstimate
 
 
+def _fig8_point(work) -> LatencyPoint:
+    """One (platform, rate) latency sample, shardable."""
+    from ..baselines.options import option3_session_mobility
+    platform, rate, ground_rtt_s = work
+    option = option3_session_mobility()
+    # Fig. 8a replays initial *and* mobility registrations.
+    registration = procedure_latency(
+        platform, rate, _REGISTRATION_FLOW,
+        option.on_board, ground_rtt_s)
+    session = procedure_latency(
+        platform, rate, SESSION_ESTABLISHMENT_FLOW,
+        option.on_board, ground_rtt_s)
+    return LatencyPoint(platform.name, rate, registration, session)
+
+
 def fig8_latency_sweep(ground_rtt_s: float = 0.030,
-                       rates: Sequence[int] = FIG8_RATES
+                       rates: Sequence[int] = FIG8_RATES,
+                       workers: Optional[int] = None
                        ) -> List[LatencyPoint]:
     """Signaling latency vs load on both platforms (Fig. 8).
 
     Uses the Option 3 placement (Baoyun-like, matching the prototype)
-    with the home a ~30 ms round trip away.
+    with the home a ~30 ms round trip away.  (platform, rate) points
+    shard across workers in the serial walk's order.
     """
-    from ..baselines.options import option3_session_mobility
-    option = option3_session_mobility()
-    points: List[LatencyPoint] = []
-    for platform in PLATFORMS:
-        for rate in rates:
-            # Fig. 8a replays initial *and* mobility registrations.
-            registration = procedure_latency(
-                platform, rate, _REGISTRATION_FLOW,
-                option.on_board, ground_rtt_s)
-            session = procedure_latency(
-                platform, rate, SESSION_ESTABLISHMENT_FLOW,
-                option.on_board, ground_rtt_s)
-            points.append(LatencyPoint(platform.name, rate,
-                                       registration, session))
-    return points
+    return run_sharded(_fig8_point,
+                       [(platform, rate, ground_rtt_s)
+                        for platform in PLATFORMS for rate in rates],
+                       workers=workers)

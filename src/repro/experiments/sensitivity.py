@@ -12,11 +12,12 @@ worst-case reduction factor observed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.solutions import ALL_SOLUTIONS, fiveg_ntn, spacecore
 from ..orbits.constellation import Constellation
 from ..orbits.groundstations import default_ground_stations
+from ..runtime.parallel import run_sharded
 from .signaling import signaling_load
 
 
@@ -39,30 +40,36 @@ def _reduction(constellation: Constellation, capacity: int,
             / sc.satellite_hotspot_per_s)
 
 
+def _sensitivity_cell(work) -> SensitivityPoint:
+    """One grid cell of the perturbation sweep, shardable."""
+    parameter, value, constellation, capacity, stations, hops = work
+    return SensitivityPoint(
+        parameter, value,
+        _reduction(constellation, capacity, list(stations), hops))
+
+
 def sensitivity_sweep(constellation: Constellation,
-                      base_capacity: int = 30_000
+                      base_capacity: int = 30_000,
+                      workers: Optional[int] = None
                       ) -> List[SensitivityPoint]:
-    """Perturb hops, gateway count, and capacity one at a time."""
-    points: List[SensitivityPoint] = []
-    base_stations = default_ground_stations()
+    """Perturb hops, gateway count, and capacity one at a time.
 
+    Each perturbation cell is independent, so the grid shards across
+    workers; cell order (and every value) matches the serial walk.
+    """
+    base_stations = tuple(default_ground_stations())
+    cells = []
     for hops in (2.0, 5.0, 10.0, 20.0):
-        points.append(SensitivityPoint(
-            "mean_hops", hops,
-            _reduction(constellation, base_capacity, base_stations,
-                       hops)))
-
+        cells.append(("mean_hops", hops, constellation, base_capacity,
+                      base_stations, hops))
     for gateway_count in (4, 8, 16, 26):
-        stations = default_ground_stations(gateway_count)
-        points.append(SensitivityPoint(
-            "gateways", float(gateway_count),
-            _reduction(constellation, base_capacity, stations, 5.0)))
-
+        stations = tuple(default_ground_stations(gateway_count))
+        cells.append(("gateways", float(gateway_count), constellation,
+                      base_capacity, stations, 5.0))
     for capacity in (2_000, 10_000, 20_000, 30_000):
-        points.append(SensitivityPoint(
-            "capacity", float(capacity),
-            _reduction(constellation, capacity, base_stations, 5.0)))
-    return points
+        cells.append(("capacity", float(capacity), constellation,
+                      capacity, base_stations, 5.0))
+    return run_sharded(_sensitivity_cell, cells, workers=workers)
 
 
 def worst_case_reduction(points: Sequence[SensitivityPoint]) -> float:
@@ -91,24 +98,35 @@ class ScalingPoint:
     reduction_vs_ntn: float
 
 
+def _scaling_cell(work) -> ScalingPoint:
+    """One synthetic shell of the scaling curve, shardable.
+
+    The shell's gateway-hop Dijkstra is the expensive part; it runs in
+    the worker against the shard-local memo.
+    """
+    from .signaling import mean_hops_to_ground
+    planes, slots, altitude_km, inclination_deg, capacity, stations = work
+    shell = Constellation("scaling", slots, planes, altitude_km,
+                          inclination_deg, min_elevation_deg=32.0)
+    hops = mean_hops_to_ground(shell, list(stations))
+    return ScalingPoint(shell.total_satellites,
+                        _reduction(shell, capacity, list(stations), hops))
+
+
 def constellation_scaling(sizes: Sequence[Tuple[int, int]] = (
         (6, 11), (18, 20), (36, 20), (72, 22)),
         altitude_km: float = 550.0,
         inclination_deg: float = 53.0,
-        capacity: int = 30_000) -> List[ScalingPoint]:
+        capacity: int = 30_000,
+        workers: Optional[int] = None) -> List[ScalingPoint]:
     """SpaceCore's advantage vs shell size (synthetic Walker shells).
 
     The paper's trend: the denser the constellation, the harsher the
-    stateful storm -- and the larger SpaceCore's win.
+    stateful storm -- and the larger SpaceCore's win.  Shells shard
+    across workers; each worker builds its own shell topology once.
     """
-    from .signaling import mean_hops_to_ground
-    points: List[ScalingPoint] = []
-    stations = default_ground_stations()
-    for planes, slots in sizes:
-        shell = Constellation("scaling", slots, planes, altitude_km,
-                              inclination_deg, min_elevation_deg=32.0)
-        hops = mean_hops_to_ground(shell, stations)
-        points.append(ScalingPoint(
-            shell.total_satellites,
-            _reduction(shell, capacity, stations, hops)))
-    return points
+    stations = tuple(default_ground_stations())
+    cells = [(planes, slots, altitude_km, inclination_deg, capacity,
+              stations)
+             for planes, slots in sizes]
+    return run_sharded(_scaling_cell, cells, workers=workers)

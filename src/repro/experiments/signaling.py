@@ -34,6 +34,9 @@ from ..orbits.constellation import Constellation
 from ..orbits.coverage import mean_dwell_time_s
 from ..orbits.groundstations import GroundStation, default_ground_stations
 from ..orbits.propagator import IdealPropagator
+from ..runtime.cohort import DEFAULT_COHORTS, CohortStats, UECohortEngine
+from ..runtime.memo import shard_memoized
+from ..runtime.parallel import run_sharded
 from ..topology.grid import GridTopology
 
 #: Fraction of satellites over populated land at any instant; ocean
@@ -76,18 +79,17 @@ class SignalingLoad:
         return session, mobility
 
 
-def mean_hops_to_ground(constellation: Constellation,
-                        stations: Optional[Sequence[GroundStation]] = None,
-                        t: float = 0.0) -> float:
-    """Mean ISL hop count from a satellite to its nearest gateway.
+def _hops_key(constellation, stations, t):
+    # Key by the full (frozen) constellation rather than its name:
+    # synthetic shells share a name but differ in geometry.
+    return (constellation, stations, t)
 
-    Multi-source BFS from every gateway's access satellite over the
-    +Grid graph -- the multi-hop factor of the storm arithmetic ("up
-    to 48" hops in the paper's polar worst case).
-    """
-    stations = (list(stations) if stations is not None
-                else default_ground_stations())
-    topology = GridTopology(IdealPropagator(constellation), stations)
+
+@shard_memoized(_hops_key)
+def _cached_mean_hops(constellation: Constellation,
+                      stations: Tuple[GroundStation, ...],
+                      t: float) -> float:
+    topology = GridTopology(IdealPropagator(constellation), list(stations))
     graph = topology.snapshot_graph(t, include_ground=False)
     sources = set()
     for gs in stations:
@@ -99,6 +101,23 @@ def mean_hops_to_ground(constellation: Constellation,
     distances = nx.multi_source_dijkstra_path_length(
         graph, sources, weight=None)
     return sum(distances.values()) / len(distances)
+
+
+def mean_hops_to_ground(constellation: Constellation,
+                        stations: Optional[Sequence[GroundStation]] = None,
+                        t: float = 0.0) -> float:
+    """Mean ISL hop count from a satellite to its nearest gateway.
+
+    Multi-source BFS from every gateway's access satellite over the
+    +Grid graph -- the multi-hop factor of the storm arithmetic ("up
+    to 48" hops in the paper's polar worst case).  The Dijkstra is
+    memoized per process on (constellation, station set, t):
+    ``reduction_factors`` and ``sweep`` ask for the same constellation
+    many times, and sharded workers ask once per design point.
+    """
+    stations = (tuple(stations) if stations is not None
+                else tuple(default_ground_stations()))
+    return _cached_mean_hops(constellation, stations, t)
 
 
 def _extra_local_messages(solution: Solution,
@@ -174,25 +193,59 @@ def signaling_load(solution: Solution, constellation: Constellation,
     )
 
 
+def _sweep_point(work) -> SignalingLoad:
+    """One (solution, constellation, capacity) design point, shardable.
+
+    The worker-side hop count comes from the shard-local memo, so a
+    worker that sees several capacities of one constellation runs the
+    Dijkstra once -- same arithmetic, same floats, as the serial loop.
+    """
+    item, constellation, capacity, stations = work
+    solution = item() if callable(item) else item
+    hops = mean_hops_to_ground(constellation, stations)
+    return signaling_load(solution, constellation, capacity,
+                          list(stations), hops)
+
+
 def sweep(solutions: Iterable, constellations: Iterable[Constellation],
           capacities: Sequence[int] = SATELLITE_CAPACITIES,
-          stations: Optional[Sequence[GroundStation]] = None
-          ) -> List[SignalingLoad]:
+          stations: Optional[Sequence[GroundStation]] = None,
+          workers: Optional[int] = None) -> List[SignalingLoad]:
     """Cartesian sweep used by Fig. 10 (options) and Fig. 20 (solutions).
 
-    ``solutions`` takes factories or instances.
+    ``solutions`` takes factories or instances.  With ``workers > 1``
+    (or ``REPRO_WORKERS`` set) the design points fan out across a
+    process pool; results come back in the same nested
+    (constellation, solution, capacity) order as the serial walk, with
+    bit-identical values.  Parallel runs need picklable solution specs
+    (module-level factories or instances, not lambdas).
     """
-    stations = (list(stations) if stations is not None
-                else default_ground_stations())
-    results: List[SignalingLoad] = []
-    for constellation in constellations:
-        hops = mean_hops_to_ground(constellation, stations)
-        for item in solutions:
-            solution = item() if callable(item) else item
-            for capacity in capacities:
-                results.append(signaling_load(
-                    solution, constellation, capacity, stations, hops))
-    return results
+    stations = (tuple(stations) if stations is not None
+                else tuple(default_ground_stations()))
+    solutions = list(solutions)
+    points = [(item, constellation, capacity, stations)
+              for constellation in constellations
+              for item in solutions
+              for capacity in capacities]
+    return run_sharded(_sweep_point, points, workers=workers)
+
+
+def cohort_load_point(solution, constellation: Constellation,
+                      n_ues: int = 1_000_000, duration_s: float = 3600.0,
+                      seed: int = 0,
+                      n_cohorts: int = DEFAULT_COHORTS) -> CohortStats:
+    """One population-scale load point on the vectorized cohort engine.
+
+    The executable counterpart of :func:`signaling_load` at full
+    population: where the arithmetic multiplies closed-form rates,
+    this samples the arrival processes per cohort and applies message
+    costs in batch, so 1M UEs cost O(cohorts).  ``solution`` takes a
+    factory or an instance.
+    """
+    solution = solution() if callable(solution) else solution
+    engine = UECohortEngine(constellation, n_ues=n_ues, solution=solution,
+                            seed=seed, n_cohorts=n_cohorts)
+    return engine.run(duration_s)
 
 
 def reduction_factors(constellation: Constellation,

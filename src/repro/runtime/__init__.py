@@ -1,0 +1,40 @@
+"""Sharded parallel experiment runtime.
+
+The reproduction's experiments are embarrassingly parallel at three
+grains -- Monte Carlo trials (chaos availability), cartesian design
+points (signaling sweeps, sensitivity grids), and rate points (CPU /
+latency curves).  TEGRA makes the same observation for the terrestrial
+core control plane: signaling scale comes from sharding independent
+work units across workers.  This package is that spine:
+
+* :mod:`.parallel` -- a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out with deterministic per-shard seed derivation and a serial
+  fallback (``REPRO_WORKERS=1``) that is bit-identical to the
+  pre-runtime per-loop code;
+* :mod:`.memo` -- shard-local memoization of expensive pure inputs
+  (mean ISL hops to a gateway, dwell times) so workers never recompute
+  topology per design point;
+* :mod:`.cohort` -- a vectorized UE-cohort signaling engine that makes
+  a 1M-UE load point O(cohorts) instead of O(users).
+"""
+
+from .cohort import CohortStats, UECohortEngine
+from .memo import cached_dwell_time_s, clear_shard_caches, shard_memoized
+from .parallel import (
+    WORKERS_ENV_VAR,
+    resolve_workers,
+    run_sharded,
+    seed_for,
+)
+
+__all__ = [
+    "CohortStats",
+    "UECohortEngine",
+    "WORKERS_ENV_VAR",
+    "cached_dwell_time_s",
+    "clear_shard_caches",
+    "resolve_workers",
+    "run_sharded",
+    "seed_for",
+    "shard_memoized",
+]

@@ -1,0 +1,75 @@
+"""Shard-local memoization of expensive pure inputs.
+
+A sharded sweep hands each worker a stream of design points that share
+most of their expensive inputs: the multi-source Dijkstra behind
+``mean_hops_to_ground``, the coverage-transient dwell time, the epoch
+snapshot of a constellation.  All of those are pure functions of
+hashable arguments, so each worker process keeps a private cache and
+computes each distinct input once -- "shard-local" because the caches
+live in module state, which every forked/spawned worker owns
+separately (and the pre-fork parent's warm cache is inherited for
+free on fork platforms).
+
+Caches register themselves so :func:`clear_shard_caches` can reset the
+process to a cold state -- benchmarks use that to time the real
+compute, and tests use it to prove cached and uncached paths agree.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List, Optional, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+#: Every cache created by :func:`shard_memoized`, for global clearing.
+_SHARD_CACHES: List[Dict] = []
+
+
+def shard_memoized(make_key: Callable[..., Any]) -> Callable[[F], F]:
+    """Memoize a pure function in a per-process dict.
+
+    ``make_key`` maps the call arguments to a hashable cache key; it
+    runs on every call, so keep it cheap.  The cache is exposed as
+    ``fn.shard_cache`` for tests.
+    """
+    def decorate(fn: F) -> F:
+        cache: Dict[Any, Any] = {}
+        _SHARD_CACHES.append(cache)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            key = make_key(*args, **kwargs)
+            try:
+                return cache[key]
+            except KeyError:
+                value = fn(*args, **kwargs)
+                cache[key] = value
+                return value
+
+        wrapper.shard_cache = cache
+        return wrapper
+    return decorate
+
+
+def clear_shard_caches() -> None:
+    """Drop every shard-local cache in this process (incl. snapshots)."""
+    for cache in _SHARD_CACHES:
+        cache.clear()
+    # The epoch-keyed constellation snapshot LRU is the third expensive
+    # pure input; it predates this module but is shard-local in exactly
+    # the same sense.
+    from ..orbits.snapshot import clear_snapshot_cache
+    clear_snapshot_cache()
+
+
+def _dwell_key(constellation, min_elevation_deg=None):
+    return (constellation, min_elevation_deg)
+
+
+@shard_memoized(_dwell_key)
+def cached_dwell_time_s(constellation,
+                        min_elevation_deg: Optional[float] = None) -> float:
+    """Shard-local :func:`repro.orbits.coverage.mean_dwell_time_s`."""
+    from ..orbits.coverage import mean_dwell_time_s
+    return mean_dwell_time_s(constellation, min_elevation_deg)

@@ -1,9 +1,9 @@
 """Discrete-event simulation: engine, live emulation, packet forwarding."""
 
-from .emulation import EmulationStats, NeighborhoodEmulation
+from .emulation import CohortEmulation, EmulationStats, NeighborhoodEmulation
 from .engine import EventHandle, PeriodicHandle, Simulator
 from .packets import PacketRecord, PacketSimulation
 
-__all__ = ["EmulationStats", "NeighborhoodEmulation", "EventHandle",
-           "PeriodicHandle", "Simulator", "PacketRecord",
+__all__ = ["CohortEmulation", "EmulationStats", "NeighborhoodEmulation",
+           "EventHandle", "PeriodicHandle", "Simulator", "PacketRecord",
            "PacketSimulation"]

@@ -106,8 +106,10 @@ class Simulator:
         return handle
 
     def schedule_periodic(self, interval: float, callback: Callable,
-                          *args: Any, jitter: Callable = None,
-                          first_delay: float = None) -> "PeriodicHandle":
+                          *args: Any,
+                          jitter: Optional[Callable[[], float]] = None,
+                          first_delay: Optional[float] = None
+                          ) -> "PeriodicHandle":
         """Re-arm ``callback`` every ``interval`` (+ optional jitter()).
 
         ``jitter`` is a zero-argument callable added to each interval,

@@ -1,0 +1,92 @@
+"""Serial-vs-sharded bit-equivalence: workers change wall-clock only.
+
+The acceptance property of the parallel runtime: for the same base
+seed, every experiment artifact is bit-for-bit identical whether it
+ran serially (``workers=1``, today's behaviour) or sharded across any
+number of worker processes, in any shard completion order.
+"""
+
+import json
+
+import pytest
+
+from repro.baselines.solutions import ALL_SOLUTIONS
+from repro.experiments.chaos_availability import (
+    ChaosScenario,
+    run_chaos_trials,
+)
+from repro.experiments.cpu import fig8_latency_sweep
+from repro.experiments.sensitivity import (
+    constellation_scaling,
+    sensitivity_sweep,
+)
+from repro.experiments.signaling import sweep
+from repro.orbits import iridium, oneweb
+
+#: Small but non-trivial chaos scenario so a 3-trial Monte Carlo stays
+#: test-suite friendly while still injecting dozens of faults.
+_SCENARIO = ChaosScenario(horizon_s=600.0, n_ues=6,
+                          jam_start_s=120.0, jam_stop_s=300.0)
+
+
+@pytest.fixture(scope="module")
+def serial_monte_carlo():
+    return run_chaos_trials(n_trials=3, base_seed=5, scenario=_SCENARIO,
+                            workers=1)
+
+
+class TestChaosEquivalence:
+    def test_sharded_artifact_bit_identical(self, serial_monte_carlo):
+        sharded = run_chaos_trials(n_trials=3, base_seed=5,
+                                   scenario=_SCENARIO, workers=2)
+        assert json.dumps(sharded.to_json(), sort_keys=True) == \
+            json.dumps(serial_monte_carlo.to_json(), sort_keys=True)
+
+    def test_worker_count_beyond_trials(self, serial_monte_carlo):
+        oversubscribed = run_chaos_trials(n_trials=3, base_seed=5,
+                                          scenario=_SCENARIO, workers=8)
+        assert oversubscribed.to_json() == serial_monte_carlo.to_json()
+
+    def test_fault_logs_identical_per_trial(self, serial_monte_carlo):
+        sharded = run_chaos_trials(n_trials=3, base_seed=5,
+                                   scenario=_SCENARIO, workers=3)
+        for serial_trial, sharded_trial in zip(serial_monte_carlo.trials,
+                                               sharded.trials):
+            assert serial_trial["fault_log"] == sharded_trial["fault_log"]
+            assert serial_trial["spacecore_outcomes"] == \
+                sharded_trial["spacecore_outcomes"]
+
+    def test_distinct_base_seeds_diverge(self, serial_monte_carlo):
+        other = run_chaos_trials(n_trials=3, base_seed=6,
+                                 scenario=_SCENARIO, workers=1)
+        assert other.to_json() != serial_monte_carlo.to_json()
+
+    def test_trial_seeds_are_derived_not_sequential(self,
+                                                    serial_monte_carlo):
+        seeds = [t["scenario"]["seed"]
+                 for t in serial_monte_carlo.trials]
+        assert len(set(seeds)) == 3
+        assert seeds != [5, 6, 7]
+
+
+class TestSweepEquivalence:
+    def test_signaling_sweep_identical_across_worker_counts(self):
+        constellations = [iridium(), oneweb()]
+        serial = sweep(ALL_SOLUTIONS, constellations)
+        for workers in (2, 3):
+            assert sweep(ALL_SOLUTIONS, constellations,
+                         workers=workers) == serial
+
+    def test_sensitivity_grid_identical(self):
+        serial = sensitivity_sweep(iridium())
+        assert sensitivity_sweep(iridium(), workers=2) == serial
+
+    def test_constellation_scaling_identical(self):
+        sizes = ((6, 11), (12, 12))
+        serial = constellation_scaling(sizes=sizes)
+        assert constellation_scaling(sizes=sizes, workers=2) == serial
+
+    def test_fig8_latency_identical(self):
+        serial = fig8_latency_sweep(rates=(10, 100, 300))
+        assert fig8_latency_sweep(rates=(10, 100, 300),
+                                  workers=2) == serial

@@ -1,0 +1,131 @@
+"""Tests for the sharded parallel runner and shard-local memoization."""
+
+import os
+
+import pytest
+
+from repro.runtime import (
+    WORKERS_ENV_VAR,
+    clear_shard_caches,
+    resolve_workers,
+    run_sharded,
+    seed_for,
+    shard_memoized,
+)
+from repro.runtime.parallel import shard_seeds
+
+
+def _square(x):
+    return x * x
+
+
+def _worker_env(_):
+    return os.environ.get(WORKERS_ENV_VAR)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert seed_for(0, 0) == seed_for(0, 0)
+        assert seed_for(7, "chaos-trial:3") == seed_for(7, "chaos-trial:3")
+
+    def test_distinct_across_shards_and_bases(self):
+        seeds = {seed_for(base, shard)
+                 for base in range(8) for shard in range(64)}
+        assert len(seeds) == 8 * 64
+
+    def test_no_additive_collision(self):
+        """trial k of seed s must differ from trial k+1 of seed s-1."""
+        assert seed_for(1, 0) != seed_for(0, 1)
+
+    def test_nonnegative_63_bit(self):
+        for shard in range(100):
+            seed = seed_for(0, shard)
+            assert 0 <= seed < 2 ** 63
+
+    def test_shard_seeds_enumerates(self):
+        assert shard_seeds(3, 4) == [seed_for(3, k) for k in range(4)]
+        assert shard_seeds(3, 0) == []
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestRunSharded:
+    def test_serial_fallback_plain_loop(self):
+        assert run_sharded(_square, range(10), workers=1) == \
+            [x * x for x in range(10)]
+
+    def test_results_in_item_order(self):
+        expected = [x * x for x in range(20)]
+        assert run_sharded(_square, range(20), workers=2) == expected
+        assert run_sharded(_square, range(20), workers=3) == expected
+
+    def test_empty_items(self):
+        assert run_sharded(_square, [], workers=4) == []
+
+    def test_single_item_stays_in_process(self):
+        assert run_sharded(_square, [6], workers=4) == [36]
+
+    def test_workers_never_nest(self):
+        """Pool children see REPRO_WORKERS=1, so shards cannot fan out."""
+        values = run_sharded(_worker_env, range(4), workers=2)
+        assert values == ["1"] * 4
+
+
+class TestShardMemoized:
+    def test_caches_by_key(self):
+        calls = []
+
+        @shard_memoized(lambda x: x)
+        def expensive(x):
+            calls.append(x)
+            return x * 10
+
+        assert expensive(3) == 30
+        assert expensive(3) == 30
+        assert expensive(4) == 40
+        assert calls == [3, 4]
+
+    def test_clear_shard_caches_resets(self):
+        calls = []
+
+        @shard_memoized(lambda x: x)
+        def expensive(x):
+            calls.append(x)
+            return x
+
+        expensive(1)
+        clear_shard_caches()
+        expensive(1)
+        assert calls == [1, 1]
+
+    def test_hops_cache_hit(self):
+        """The signaling Dijkstra memo returns identical objects."""
+        from repro.experiments.signaling import (
+            _cached_mean_hops,
+            mean_hops_to_ground,
+        )
+        from repro.orbits import default_ground_stations, iridium
+        clear_shard_caches()
+        constellation = iridium()
+        stations = default_ground_stations(6)
+        first = mean_hops_to_ground(constellation, stations)
+        size_after_first = len(_cached_mean_hops.shard_cache)
+        second = mean_hops_to_ground(constellation, stations)
+        assert first == second
+        assert len(_cached_mean_hops.shard_cache) == size_after_first

@@ -110,6 +110,45 @@ class TestRunControl:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_max_events_skips_cancelled_head(self):
+        """A cancelled head event must not consume the event budget."""
+        sim = Simulator()
+        fired = []
+        head = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(3.0, fired.append, "c")
+        head.cancel()
+        sim.run(max_events=1)
+        assert fired == ["b"]
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+        sim.run(max_events=1)
+        assert fired == ["b", "c"]
+        assert sim.pending() == 0
+
+    def test_max_events_with_all_heads_cancelled(self):
+        """Budgeted run over a fully cancelled queue fires nothing."""
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(float(i + 1), fired.append, i)
+                   for i in range(3)]
+        for handle in handles:
+            handle.cancel()
+        sim.run(max_events=5)
+        assert fired == []
+        assert sim.pending() == 0
+
+    def test_until_with_cancelled_head_past_deadline(self):
+        """A cancelled event beyond ``until`` must not stall the clock."""
+        sim = Simulator()
+        fired = []
+        late = sim.schedule(10.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        late.cancel()
+        sim.run(until=5.0, max_events=10)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+
     def test_step_returns_false_when_empty(self):
         sim = Simulator()
         assert sim.step() is False
