@@ -7,15 +7,13 @@
 4. ABE policy size vs session-establishment overhead.
 """
 
-import math
 
 import pytest
 
-from repro.baselines import SPACECORE_CRYPTO_OVERHEAD_S, spacecore
+from repro.baselines import SPACECORE_CRYPTO_OVERHEAD_S
 from repro.crypto import and_, attr, decrypt, encrypt, keygen, setup
 from repro.experiments.relay import BEIJING, NEW_YORK
 from repro.fiveg.messages import (
-    ProcedureKind,
     SESSION_ESTABLISHMENT_FLOW,
     SPACECORE_SESSION_ESTABLISHMENT_FLOW,
 )

@@ -3,7 +3,7 @@ satellite and per ground station, across four constellations."""
 
 from repro.baselines import ALL_OPTIONS
 from repro.constants import SATELLITE_CAPACITIES
-from repro.experiments.signaling import signaling_load, sweep
+from repro.experiments.signaling import signaling_load
 from repro.orbits import TABLE1
 
 from conftest import gateway_set

@@ -1,6 +1,6 @@
 """Fig. 7: breakdown of satellite CPU usage by core functions."""
 
-from repro.experiments import FIG7_RATES, fig7_cpu_breakdown
+from repro.experiments import fig7_cpu_breakdown
 from repro.hardware import RASPBERRY_PI_4, XEON_WORKSTATION
 
 

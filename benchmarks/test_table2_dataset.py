@@ -1,7 +1,6 @@
 """Table 2: overview of the signaling datasets (synthesised replay)."""
 
 from repro.workload import (
-    TABLE2_COUNTS,
     layer_mix,
     synthesize,
     table2_summary,

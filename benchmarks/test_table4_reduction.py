@@ -1,6 +1,5 @@
 """Table 4: SpaceCore's satellite signaling cost reduction."""
 
-import pytest
 
 from repro.experiments.signaling import reduction_factors
 from repro.orbits import TABLE1

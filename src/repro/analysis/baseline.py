@@ -1,0 +1,98 @@
+"""Committed findings baseline: ratchet, don't regress.
+
+A baseline lets the lint gate land before the last finding is fixed:
+known findings are recorded (fingerprinted by rule + path + source
+line content, so unrelated line drift does not churn them) and only
+*new* findings fail the build.  Entries carry an optional ``note``
+justifying why the finding is accepted; the acceptance bar for this
+repo is an **empty** baseline -- real exceptions are suppressed inline
+next to the code they excuse, where reviewers see them.
+
+Expiry is automatic on rewrite: ``repro lint --write-baseline`` drops
+entries whose finding no longer exists (and the normal run reports
+them as stale so a shrinking baseline is visible in CI logs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Finding
+
+#: Default baseline file name, resolved against the analysis root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+_VERSION = 1
+
+
+class Baseline:
+    """The set of accepted findings, keyed by fingerprint."""
+
+    def __init__(self, entries: Optional[Dict[str, Dict[str, object]]]
+                 = None, path: Optional[Path] = None):
+        self.entries: Dict[str, Dict[str, object]] = dict(entries or {})
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version "
+                f"{data.get('version')!r} (expected {_VERSION})")
+        entries: Dict[str, Dict[str, object]] = {}
+        for entry in data.get("findings", []):
+            entries[str(entry["fingerprint"])] = dict(entry)
+        return cls(entries, path=path)
+
+    def partition(self, findings: Sequence[Finding]
+                  ) -> Tuple[List[Finding], List[Finding],
+                             List[Dict[str, object]]]:
+        """Split findings into (new, baselined); also return stale
+        baseline entries that matched nothing this run."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        matched: set = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                finding.baselined = True
+                matched.add(finding.fingerprint)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for fingerprint, entry in sorted(
+            self.entries.items()) if fingerprint not in matched]
+        return new, baselined, stale
+
+    def write(self, findings: Sequence[Finding],
+              path: Optional[Path] = None) -> Path:
+        """Rewrite the baseline to exactly the given findings.
+
+        Notes on surviving entries are preserved; entries whose
+        finding disappeared expire (they are simply not rewritten).
+        """
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        payload: List[Dict[str, object]] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            entry: Dict[str, object] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint,
+            }
+            old = self.entries.get(finding.fingerprint)
+            if old is not None and old.get("note"):
+                entry["note"] = old["note"]
+            payload.append(entry)
+        target.write_text(json.dumps(
+            {"version": _VERSION, "findings": payload}, indent=2,
+            sort_keys=True) + "\n")
+        return target

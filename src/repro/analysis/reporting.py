@@ -1,0 +1,91 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema (``--format json``) is stable and versioned; CI
+uploads it as an artifact so a failing gate can be diagnosed without
+re-running the analyzer::
+
+    {
+      "version": 1,
+      "root": "<analysis root>",
+      "files_checked": 103,
+      "rules": ["cache-key-unhashable", ...],
+      "findings": [
+        {"rule": "...", "path": "...", "line": 1, "message": "...",
+         "fingerprint": "...", "baselined": false},
+        ...
+      ],
+      "stale_baseline": [<baseline entries that matched nothing>],
+      "summary": {"total": 0, "new": 0, "baselined": 0,
+                  "suppressed": 0, "stale_baseline": 0}
+    }
+
+Exit-code contract (tested in ``tests/test_analysis_cli.py``): 0 when
+no *new* findings, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_report(root: str, files_checked: int,
+                 rule_ids: Sequence[str],
+                 new: Sequence[Finding],
+                 baselined: Sequence[Finding],
+                 suppressed: int,
+                 stale: Sequence[Dict[str, object]]
+                 ) -> Dict[str, object]:
+    """The canonical result document both reporters render."""
+    findings = sorted(list(new) + list(baselined), key=Finding.sort_key)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "root": root,
+        "files_checked": files_checked,
+        "rules": list(rule_ids),
+        "findings": [f.to_dict() for f in findings],
+        "stale_baseline": list(stale),
+        "summary": {
+            "total": len(findings),
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": suppressed,
+            "stale_baseline": len(stale),
+        },
+    }
+
+
+def render_json(report: Dict[str, object]) -> str:
+    """Render the report document as stable, sorted JSON."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(report: Dict[str, object]) -> str:
+    """Human-readable rendering: one ``path:line: [rule] message``
+    per finding, then a summary line."""
+    lines: List[str] = []
+    findings = report["findings"]
+    assert isinstance(findings, list)
+    for entry in findings:
+        tag = " (baselined)" if entry["baselined"] else ""
+        lines.append(f"{entry['path']}:{entry['line']}: "
+                     f"[{entry['rule']}]{tag} {entry['message']}")
+    stale = report["stale_baseline"]
+    assert isinstance(stale, list)
+    for entry in stale:
+        lines.append(f"stale baseline entry: {entry['path']}:"
+                     f"{entry['line']} [{entry['rule']}] -- fixed? "
+                     f"run --write-baseline to expire it")
+    summary = report["summary"]
+    assert isinstance(summary, dict)
+    lines.append(
+        f"{report['files_checked']} files checked: "
+        f"{summary['new']} new finding(s), "
+        f"{summary['baselined']} baselined, "
+        f"{summary['suppressed']} suppressed inline, "
+        f"{summary['stale_baseline']} stale baseline entr(ies)")
+    return "\n".join(lines) + "\n"

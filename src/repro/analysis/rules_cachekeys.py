@@ -1,0 +1,159 @@
+"""Cache-key soundness: memoized functions must be memoizable.
+
+PR 1 and PR 3 both hit the same cache-invalidation bug class: a
+memoized function whose result silently depends on something *outside*
+its cache key -- a mutable module global mutated between calls, or an
+unhashable argument that forced callers to pre-convert (and sometimes
+forgot).  Two rules pin the contract for anything decorated with
+``shard_memoized`` / ``lru_cache`` / ``cache`` (the decorator set is
+imported from :mod:`repro.runtime.memo`, the single source of truth):
+
+* ``cache-key-unhashable`` -- parameters annotated as mutable
+  containers (or with mutable defaults) cannot participate in a cache
+  key; take a tuple/frozenset or a frozen dataclass instead;
+* ``cache-mutable-global`` -- the function body must not read a
+  module-level mutable container: its contents are invisible to the
+  key, so a mutation turns the cache stale with no invalidation
+  signal (and each worker process sees a *different* stale copy).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from ..runtime.memo import MEMO_DECORATOR_NAMES
+from .core import (
+    Finding,
+    FuncDef,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    annotation_source,
+    args_with_defaults,
+    dotted_name,
+    is_mutable_container,
+    iter_functions,
+    tail_name,
+)
+from .registry import register
+
+#: Annotation roots that cannot be part of a hashable cache key.
+UNHASHABLE_ANNOTATION_TAILS = frozenset({
+    "list", "List", "dict", "Dict", "set", "Set", "defaultdict",
+    "DefaultDict", "OrderedDict", "Counter", "deque", "bytearray",
+    "ndarray", "MutableMapping", "MutableSequence", "MutableSet",
+})
+
+
+def _memo_decorator(func: FuncDef, module: ModuleInfo) -> Optional[str]:
+    """The memoizing decorator's name, or None."""
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = dotted_name(target, module)
+        if tail_name(name) in MEMO_DECORATOR_NAMES:
+            return tail_name(name)
+    return None
+
+
+def _annotation_tail(node: Optional[ast.expr],
+                     module: ModuleInfo) -> str:
+    if node is None:
+        return ""
+    base = node.value if isinstance(node, ast.Subscript) else node
+    return tail_name(dotted_name(base, module))
+
+
+@register
+class CacheKeyUnhashableRule(Rule):
+    """Flag memoized functions taking unhashable parameters."""
+
+    id = "cache-key-unhashable"
+    family = "cache-keys"
+    description = ("shard_memoized/lru_cache functions must take only "
+                   "hashable parameters (tuples, frozen dataclasses); "
+                   "mutable-container params cannot key a cache")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield unhashable params/defaults on memoized functions."""
+        for func, _ in iter_functions(module.tree):
+            decorator = _memo_decorator(func, module)
+            if decorator is None:
+                continue
+            for arg, default in args_with_defaults(func):
+                annotation_tail = _annotation_tail(
+                    arg.annotation, module)
+                if annotation_tail in UNHASHABLE_ANNOTATION_TAILS:
+                    yield module.finding(
+                        self.id, arg,
+                        f"@{decorator} function {func.name}() takes "
+                        f"unhashable parameter {arg.arg}: "
+                        f"{annotation_source(arg.annotation)}; pass a "
+                        f"tuple/frozenset or a frozen dataclass")
+                elif (default is not None
+                      and is_mutable_container(default, module)):
+                    yield module.finding(
+                        self.id, arg,
+                        f"@{decorator} function {func.name}() has a "
+                        f"mutable default for {arg.arg}; mutable "
+                        f"defaults are shared across calls and cannot "
+                        f"key a cache")
+
+
+@register
+class CacheMutableGlobalRule(Rule):
+    """Flag memoized functions reading mutable module globals."""
+
+    id = "cache-mutable-global"
+    family = "cache-keys"
+    description = ("memoized functions must not close over mutable "
+                   "module globals: their contents are outside the "
+                   "cache key, so mutation makes cached results "
+                   "silently stale (the PR 1/PR 3 bug class)")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield mutable-global reads inside memoized functions."""
+        if not module.mutable_globals:
+            return
+        for func, _ in iter_functions(module.tree):
+            decorator = _memo_decorator(func, module)
+            if decorator is None:
+                continue
+            local_names = self._bound_names(func)
+            reported: Set[str] = set()
+            for node in ast.walk(func):
+                if not (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)):
+                    continue
+                name = node.id
+                if (name in module.mutable_globals
+                        and name not in local_names
+                        and name not in reported):
+                    reported.add(name)
+                    yield module.finding(
+                        self.id, node,
+                        f"@{decorator} function {func.name}() reads "
+                        f"mutable module global {name!r}; its value "
+                        f"is outside the cache key -- pass it as a "
+                        f"(hashable) parameter instead")
+
+    @staticmethod
+    def _bound_names(func: FuncDef) -> Set[str]:
+        """Names bound locally in the function (params + assignments)."""
+        bound: Set[str] = {a.arg for a, _ in args_with_defaults(func)}
+        if func.args.vararg:
+            bound.add(func.args.vararg.arg)
+        if func.args.kwarg:
+            bound.add(func.args.kwarg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store):
+                bound.add(node.id)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)) \
+                    and node is not func:
+                bound.add(node.name)
+        return bound

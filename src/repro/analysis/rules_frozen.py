@@ -1,0 +1,147 @@
+"""Frozen-mutation rule: snapshot types stay snapshots.
+
+The hot paths lean on value types that are immutable *by contract*:
+frozen dataclasses (``Constellation``, ``GroundStation``, message and
+state records) and documented snapshot types like
+``ConstellationSnapshot`` whose arrays are marked read-only.  Shared
+caches (the epoch-keyed snapshot LRU, shard-local memo dicts) hand the
+same object to many callers, so one in-place mutation corrupts every
+future cache hit.
+
+Attribute assignment through ``self`` inside the class's own methods
+is exempt (``__init__``/``__post_init__`` construction); everything
+else -- plain assignment, augmented assignment, ``setattr`` /
+``object.__setattr__`` -- on a value *known* to be a frozen type is
+a finding.  "Known" is deliberately conservative: a parameter or
+variable annotated with the frozen type, or a local assigned directly
+from its constructor.  No cross-function inference, no false
+positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+from .core import (
+    Finding,
+    FuncDef,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    dotted_name,
+    iter_functions,
+    tail_name,
+)
+from .registry import register
+
+
+def _frozen_class_of(node: Optional[ast.expr], module: ModuleInfo,
+                     project: ProjectContext) -> Optional[str]:
+    """The frozen class a name/annotation refers to, or None.
+
+    Accepts bare names, dotted names, ``Optional[Frozen]`` and string
+    annotations whose text is the class name.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        candidate = node.value.strip().strip("'\"")
+        return candidate if candidate in project.frozen_classes else None
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_tail = (base.id if isinstance(base, ast.Name)
+                     else base.attr if isinstance(base, ast.Attribute)
+                     else "")
+        if base_tail == "Optional":
+            return _frozen_class_of(node.slice, module, project)
+        return None
+    name = tail_name(dotted_name(node, module))
+    return name if name in project.frozen_classes else None
+
+
+@register
+class FrozenMutationRule(Rule):
+    """Flag attribute assignment on known-frozen snapshot objects."""
+
+    id = "frozen-mutation"
+    family = "frozen"
+    description = ("attribute assignment on frozen dataclasses / "
+                   "snapshot types mutates shared cached objects; "
+                   "build a new instance (dataclasses.replace) instead")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield every mutation of a known-frozen local or param."""
+        for func, enclosing in iter_functions(module.tree):
+            exempt_self = ""
+            if (enclosing is not None
+                    and enclosing.name in project.frozen_classes
+                    and func.args.args):
+                # The frozen class's own methods may build self.
+                exempt_self = func.args.args[0].arg
+            frozen_vars = self._frozen_locals(func, module, project)
+            frozen_vars.pop(exempt_self, None)
+            yield from self._check_mutations(
+                module, func, frozen_vars)
+
+    def _frozen_locals(self, func: FuncDef, module: ModuleInfo,
+                       project: ProjectContext) -> Dict[str, str]:
+        """Local name -> frozen class, from annotations and ctors."""
+        frozen: Dict[str, str] = {}
+        args = func.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            cls = _frozen_class_of(arg.annotation, module, project)
+            if cls is not None:
+                frozen[arg.arg] = cls
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name):
+                cls = _frozen_class_of(node.annotation, module, project)
+                if cls is not None:
+                    frozen[node.target.id] = cls
+            elif isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call):
+                cls = tail_name(dotted_name(node.value.func, module))
+                if cls in project.frozen_classes:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            frozen[target.id] = cls
+        return frozen
+
+    def _check_mutations(self, module: ModuleInfo, func: FuncDef,
+                         frozen_vars: Dict[str, str]
+                         ) -> Iterable[Finding]:
+        if not frozen_vars:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in frozen_vars):
+                        cls = frozen_vars[target.value.id]
+                        yield module.finding(
+                            self.id, node,
+                            f"assignment to {target.value.id}."
+                            f"{target.attr} mutates frozen {cls}; "
+                            f"use dataclasses.replace or build a new "
+                            f"instance")
+            elif isinstance(node, ast.Call):
+                name = tail_name(dotted_name(node.func, module))
+                if name != "__setattr__" and name != "setattr":
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if (isinstance(first, ast.Name)
+                        and first.id in frozen_vars):
+                    cls = frozen_vars[first.id]
+                    yield module.finding(
+                        self.id, node,
+                        f"setattr on {first.id} mutates frozen {cls}; "
+                        f"use dataclasses.replace or build a new "
+                        f"instance")

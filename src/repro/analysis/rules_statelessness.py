@@ -1,0 +1,140 @@
+"""Statelessness rule: the paper's Fig. 9 contract, checked at the AST.
+
+SpaceCore moves per-UE session state *into the UE* (encrypted state
+replicas) and addresses users geospatially, so the network functions
+riding satellites hold no durable per-UE state.  Concretely: a class
+on the SpaceCore path must not assign a mutable per-UE container
+(``self._sessions = {}``-style) in its methods.
+
+Two escape hatches, both explicit:
+
+* the **stateful-baseline allowlist** -- the legacy 5G NFs
+  (:data:`STATEFUL_BASELINE_CLASSES`) exist precisely to model the
+  stateful architecture the paper argues against, so their per-UE
+  tables are the point, not a bug;
+* an inline ``# repro: ignore[stateful-nf] -- <why>`` for state that
+  is *ephemeral by contract*, e.g. the served-session table a
+  satellite keeps only while a radio session is live (exactly what
+  Fig. 19 says a hijacker can steal, and nothing more).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from .core import (
+    Finding,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    annotation_source,
+    is_mutable_container,
+)
+from .registry import register
+
+#: Legacy NFs modelling the stateful baseline (Fig. 9 left-hand side).
+STATEFUL_BASELINE_CLASSES = frozenset({
+    "Amf", "Ausf", "Smf", "Udm", "Udsf", "Upf", "Pcf",
+})
+
+#: Attribute or annotation vocabulary that marks state as per-UE.
+_PER_UE_RE = re.compile(
+    r"ue|supi|imsi|guti|tmsi|session|subscriber|context|bearer|"
+    r"served|serving|paging|registration",
+    re.IGNORECASE)
+
+#: Annotation roots that denote mutable containers.
+_MUTABLE_ANNOTATION_TAILS = frozenset({
+    "Dict", "dict", "List", "list", "Set", "set", "DefaultDict",
+    "defaultdict", "OrderedDict", "Counter", "deque",
+    "MutableMapping", "MutableSequence", "MutableSet",
+})
+
+
+def _annotation_is_mutable(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    base = node.value if isinstance(node, ast.Subscript) else node
+    if isinstance(base, ast.Name):
+        return base.id in _MUTABLE_ANNOTATION_TAILS
+    if isinstance(base, ast.Attribute):
+        return base.attr in _MUTABLE_ANNOTATION_TAILS
+    return False
+
+
+@register
+class StatefulNfRule(Rule):
+    """Flag per-UE mutable containers on SpaceCore-path classes."""
+
+    id = "stateful-nf"
+    family = "statelessness"
+    description = ("SpaceCore-path NF classes must not hold per-UE "
+                   "mutable state on self (Fig. 9: the UE carries its "
+                   "session state); allowlist covers the stateful "
+                   "baseline NFs")
+    scope = ("fiveg/nf/", "core/spacecore.py", "core/satellite.py")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield per-UE ``self.<x> = {}``-style assigns off-allowlist."""
+        for class_node in ast.walk(module.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            if class_node.name in STATEFUL_BASELINE_CLASSES:
+                continue
+            yield from self._check_class(module, class_node)
+
+    def _check_class(self, module: ModuleInfo,
+                     class_node: ast.ClassDef) -> Iterable[Finding]:
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if not method.args.args:
+                continue
+            self_name = method.args.args[0].arg
+            for node in ast.walk(method):
+                finding = self._check_assign(
+                    module, class_node, self_name, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_assign(self, module: ModuleInfo,
+                      class_node: ast.ClassDef, self_name: str,
+                      node: ast.AST) -> Optional[Finding]:
+        annotation: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value: Optional[ast.expr] = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+            annotation = node.annotation
+        else:
+            return None
+        for target in targets:
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name):
+                continue
+            mutable = (_annotation_is_mutable(annotation)
+                       or (value is not None
+                           and is_mutable_container(value, module)))
+            if not mutable:
+                continue
+            per_ue = bool(_PER_UE_RE.search(target.attr)
+                          or _PER_UE_RE.search(
+                              annotation_source(annotation)))
+            if not per_ue:
+                continue
+            return module.finding(
+                self.id, node,
+                f"{class_node.name}.{target.attr} is a per-UE mutable "
+                f"container on a SpaceCore-path class; UE state "
+                f"belongs in the UE's state replica (Fig. 9).  If "
+                f"this is ephemeral radio-session state or a stateful "
+                f"baseline, allowlist the class or add "
+                f"'# repro: ignore[{self.id}] -- <why>'")
+        return None

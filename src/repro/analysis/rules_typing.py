@@ -1,0 +1,55 @@
+"""Typing rule: no implicit-Optional parameters.
+
+``def f(count: int = None)`` lies to every reader and to mypy (which
+rejects it under ``no_implicit_optional``, the modern default).  This
+was the recurring bug class of PRs 1-3 -- each one hand-fixed a few --
+so the analyzer now flags every annotated parameter whose default is
+``None`` but whose annotation does not admit it.  The fix is mechanical:
+``Optional[T]`` (or ``T | None`` once the floor is 3.10).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .core import (
+    Finding,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    annotation_allows_none,
+    annotation_source,
+    args_with_defaults,
+    iter_functions,
+)
+from .registry import register
+
+
+@register
+class ImplicitOptionalRule(Rule):
+    """Flag ``param: T = None`` where T does not admit None."""
+
+    id = "implicit-optional"
+    family = "typing"
+    description = ("parameters defaulting to None must be annotated "
+                   "Optional[T] (the recurring PR 1-3 bug class)")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield every None-defaulted param whose hint forbids None."""
+        for func, _ in iter_functions(module.tree):
+            for arg, default in args_with_defaults(func):
+                if arg.annotation is None or default is None:
+                    continue
+                if not (isinstance(default, ast.Constant)
+                        and default.value is None):
+                    continue
+                if annotation_allows_none(arg.annotation):
+                    continue
+                yield module.finding(
+                    self.id, arg,
+                    f"{func.name}() parameter {arg.arg}: "
+                    f"{annotation_source(arg.annotation)} defaults to "
+                    f"None; annotate as Optional["
+                    f"{annotation_source(arg.annotation)}]")

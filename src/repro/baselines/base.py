@@ -26,12 +26,7 @@ from ..constants import (
     RRC_INACTIVITY_TIMEOUT_S,
     SESSION_INTERARRIVAL_S,
 )
-from ..fiveg.messages import (
-    LEGACY_FLOWS,
-    MessageTemplate,
-    ProcedureKind,
-    Role,
-)
+from ..fiveg.messages import MessageTemplate, ProcedureKind, Role
 
 
 class Side(Enum):

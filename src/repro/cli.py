@@ -272,6 +272,20 @@ def _cmd_loadpoint(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_main
+    return lint_main(
+        args.paths,
+        format=args.format,
+        output=args.output,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        write_baseline=args.write_baseline,
+        rule_ids=(args.rules.split(",") if args.rules else None),
+        list_rules=args.list_rules,
+    )
+
+
 def _cmd_report(args) -> int:
     from .experiments.report import generate_report, write_report
     if args.output:
@@ -299,6 +313,8 @@ _COMMANDS: Dict[str, tuple] = {
     "chaos": (_cmd_chaos, "session survival under injected churn"),
     "loadpoint": (_cmd_loadpoint,
                   "population-scale load point (cohort engine)"),
+    "lint": (_cmd_lint,
+             "statelessness/determinism invariant checks (static)"),
 }
 
 
@@ -346,6 +362,26 @@ def build_parser() -> argparse.ArgumentParser:
                                   "processes (default: REPRO_WORKERS "
                                   "or serial)")
             sub.add_argument("--output", default=None)
+        if name == "lint":
+            sub.add_argument("paths", nargs="*",
+                             help="files/directories to analyze "
+                                  "(default: the repro package)")
+            sub.add_argument("--format", choices=("text", "json"),
+                             default="text")
+            sub.add_argument("--output", default=None,
+                             help="write the report here instead of "
+                                  "stdout (CI uploads this artifact)")
+            sub.add_argument("--baseline", default=None,
+                             help="baseline file (default: "
+                                  "lint-baseline.json at the repo root)")
+            sub.add_argument("--no-baseline", action="store_true",
+                             help="report every finding as new")
+            sub.add_argument("--write-baseline", action="store_true",
+                             help="accept current findings into the "
+                                  "baseline (stale entries expire)")
+            sub.add_argument("--rules", default=None,
+                             help="comma-separated rule ids to run")
+            sub.add_argument("--list-rules", action="store_true")
         if name == "loadpoint":
             sub.add_argument("--constellation", default="Starlink")
             sub.add_argument("--solution", default="SpaceCore")

@@ -18,12 +18,8 @@ from typing import Dict, Optional, Tuple
 from ..crypto import abe
 from ..crypto.access_tree import PolicyNode, and_, attr, or_
 from ..fiveg.core import CoreNetwork, SatelliteCredentials
-from ..fiveg.identifiers import Plmn, Supi
-from ..fiveg.procedures import (
-    SpaceCoreRegistrar,
-    build_state_bundle,
-    delegate_states,
-)
+from ..fiveg.identifiers import Plmn
+from ..fiveg.procedures import SpaceCoreRegistrar, build_state_bundle
 from ..fiveg.state import SessionState
 from ..fiveg.ue import StateReplica, UserEquipment
 

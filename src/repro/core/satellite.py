@@ -57,7 +57,10 @@ class SpaceCoreSatellite:
         # The local UPF enforces the QoS carried in each replica, so
         # home-pushed throttles (S4.4) bite at the edge.
         self.upf = Upf(f"{sat_id}-upf", enforce_qos=True)
-        self._served: Dict[str, ServedSession] = {}
+        # The one per-UE table a satellite may hold: sessions live on
+        # the radio right now, evaporating at release.  This is exactly
+        # the hijack exposure Fig. 19 measures -- nothing durable.
+        self._served: Dict[str, ServedSession] = {}  # repro: ignore[stateful-nf] -- ephemeral radio-session state (Fig. 19 contract)
         self.local_establishments = 0
         self.fallbacks = 0
         self.pagings = 0

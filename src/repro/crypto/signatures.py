@@ -8,7 +8,6 @@ verify during local key agreement.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 from typing import Tuple
 

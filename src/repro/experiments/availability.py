@@ -21,7 +21,6 @@ from typing import Dict, List, Tuple
 
 import networkx as nx
 
-from ..baselines.base import Solution
 from ..baselines.solutions import fiveg_ntn, spacecore
 from ..faults.failures import procedure_success_probability
 from ..fiveg.messages import ProcedureKind

@@ -13,7 +13,7 @@ Two demonstrations with the transparent-pipe (bent-pipe) architecture:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..constants import BASEBAND_DEADLINE_S
 from ..orbits.constellation import Constellation
@@ -42,7 +42,7 @@ class GatewayConcentration:
 
 
 def gateway_concentration(constellation: Constellation,
-                          stations: Sequence[GroundStation] = None,
+                          stations: Optional[Sequence[GroundStation]] = None,
                           t: float = 0.0) -> GatewayConcentration:
     """Compute the Fig. 5a satellite-per-gateway concentration."""
     stations = (list(stations) if stations is not None

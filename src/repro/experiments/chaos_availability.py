@@ -26,7 +26,6 @@ and identical procedure outcome records.
 from __future__ import annotations
 
 import json
-import math
 import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..baselines.solutions import ALL_SOLUTIONS, fiveg_ntn, spacecore
+from ..baselines.solutions import fiveg_ntn, spacecore
 from ..orbits.constellation import Constellation
 from ..orbits.groundstations import default_ground_stations
 from ..runtime.parallel import run_sharded

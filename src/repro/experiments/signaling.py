@@ -26,7 +26,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 
 from ..baselines.base import Solution
-from ..baselines.options import ALL_OPTIONS
 from ..baselines.solutions import ALL_SOLUTIONS
 from ..constants import SATELLITE_CAPACITIES
 from ..fiveg.messages import ProcedureKind

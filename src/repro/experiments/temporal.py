@@ -14,7 +14,6 @@ from typing import List, Optional, Tuple
 
 from ..baselines.base import Solution
 from ..baselines.options import option3_session_mobility
-from ..fiveg.messages import ProcedureKind
 from ..geo.population import PopulationGrid
 from ..orbits.constellation import Constellation
 from ..orbits.coverage import footprint_radius_km, mean_dwell_time_s

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..baselines.base import ACTIVE_FRACTION, Solution, StateResidency
-from ..constants import SESSION_INTERARRIVAL_S
 from ..fiveg.messages import ProcedureKind
 
 

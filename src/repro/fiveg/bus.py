@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from .messages import MessageTemplate, Role
-from .state import StateCategory
 
 
 @dataclass(frozen=True)

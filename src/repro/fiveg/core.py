@@ -18,7 +18,6 @@ from ..crypto.access_tree import PolicyNode, serving_satellite_policy
 from ..crypto.signatures import (
     Certificate,
     SigningKey,
-    VerifyKey,
     generate_keypair,
     issue_certificate,
 )

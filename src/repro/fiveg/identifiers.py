@@ -15,7 +15,6 @@ import hashlib
 import secrets
 from dataclasses import dataclass
 
-from ..crypto.group import SCHNORR_GROUP
 from ..crypto.signatures import SigningKey, VerifyKey
 
 

@@ -8,7 +8,6 @@ afterward" (S4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 from ..state import BillingState, QosState

@@ -8,7 +8,6 @@ signaling-cost experiments count exactly what the flow diagrams show).
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Optional, Tuple
 
 from ..crypto import abe
@@ -207,7 +206,6 @@ def delegate_states(core: CoreNetwork, bundle: SessionState,
     """Sign and ABE-encrypt a state bundle for UE storage (S4.4)."""
     serialized = bundle.to_bytes()
     signature = core.home_signing_key.sign(serialized)
-    from .identifiers import Supi  # local import to avoid cycle noise
     policy = core.state_policy(bundle.identifiers.supi)
     ciphertext = abe.encrypt(core.abe_master, serialized, policy)
     return StateReplica(ciphertext=ciphertext, signature=signature,

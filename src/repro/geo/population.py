@@ -20,10 +20,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..constants import EARTH_RADIUS_KM
-from ..orbits.coordinates import central_angle
 
 
 @dataclass(frozen=True)
@@ -90,7 +89,8 @@ class PopulationGrid:
     # -- sampling ----------------------------------------------------------------
 
     def sample(self, count: int,
-               rng: random.Random = None) -> List[Tuple[float, float]]:
+               rng: Optional[random.Random] = None
+               ) -> List[Tuple[float, float]]:
         """Draw ``count`` UE positions (lat, lon in radians)."""
         rng = rng or random.Random(0)
         positions = []

@@ -14,7 +14,6 @@ Procedure latency has three parts:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Tuple
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .coordinates import central_angle
 
@@ -68,7 +68,8 @@ _DEFAULT_SITES: Sequence[Tuple[str, float, float]] = (
 )
 
 
-def default_ground_stations(count: int = None) -> List[GroundStation]:
+def default_ground_stations(count: Optional[int] = None
+                            ) -> List[GroundStation]:
     """The default gateway catalog; optionally truncated to ``count``."""
     stations = [GroundStation(name, lat, lon)
                 for name, lat, lon in _DEFAULT_SITES]

@@ -19,7 +19,14 @@ work units across workers.  This package is that spine:
 """
 
 from .cohort import CohortStats, UECohortEngine
-from .memo import cached_dwell_time_s, clear_shard_caches, shard_memoized
+from .memo import (
+    MEMO_DECORATOR_NAMES,
+    cached_dwell_time_s,
+    clear_shard_caches,
+    memo_metadata,
+    memoized_functions,
+    shard_memoized,
+)
 from .parallel import (
     WORKERS_ENV_VAR,
     resolve_workers,
@@ -29,10 +36,13 @@ from .parallel import (
 
 __all__ = [
     "CohortStats",
+    "MEMO_DECORATOR_NAMES",
     "UECohortEngine",
     "WORKERS_ENV_VAR",
     "cached_dwell_time_s",
     "clear_shard_caches",
+    "memo_metadata",
+    "memoized_functions",
     "resolve_workers",
     "run_sharded",
     "seed_for",

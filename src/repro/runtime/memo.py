@@ -18,12 +18,31 @@ compute, and tests use it to prove cached and uncached paths agree.
 from __future__ import annotations
 
 import functools
-from typing import Any, Callable, Dict, List, Optional, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    cast,
+)
 
 F = TypeVar("F", bound=Callable)
 
 #: Every cache created by :func:`shard_memoized`, for global clearing.
 _SHARD_CACHES: List[Dict] = []
+
+#: Every function wrapped by :func:`shard_memoized`, for introspection.
+_MEMOIZED_FUNCS: List[Callable] = []
+
+#: Decorator names whose presence marks a function as memoized.  The
+#: static analyzer (``repro.analysis.rules_cachekeys``) imports this
+#: as its single source of truth, so adding a memoizer here extends
+#: the cache-key soundness checks automatically.
+MEMO_DECORATOR_NAMES: Tuple[str, ...] = ("shard_memoized", "lru_cache",
+                                         "cache")
 
 
 def shard_memoized(make_key: Callable[..., Any]) -> Callable[[F], F]:
@@ -31,7 +50,8 @@ def shard_memoized(make_key: Callable[..., Any]) -> Callable[[F], F]:
 
     ``make_key`` maps the call arguments to a hashable cache key; it
     runs on every call, so keep it cheap.  The cache is exposed as
-    ``fn.shard_cache`` for tests.
+    ``fn.shard_cache`` for tests, and decorator metadata as
+    ``fn.__repro_memo__`` for the static analyzer's self-test.
     """
     def decorate(fn: F) -> F:
         cache: Dict[Any, Any] = {}
@@ -47,9 +67,27 @@ def shard_memoized(make_key: Callable[..., Any]) -> Callable[[F], F]:
                 cache[key] = value
                 return value
 
-        wrapper.shard_cache = cache
-        return wrapper
+        setattr(wrapper, "shard_cache", cache)
+        setattr(wrapper, "__repro_memo__", {
+            "decorator": "shard_memoized",
+            "function": fn.__qualname__,
+            "module": fn.__module__,
+            "make_key": getattr(make_key, "__qualname__",
+                                repr(make_key)),
+        })
+        _MEMOIZED_FUNCS.append(wrapper)
+        return cast(F, wrapper)
     return decorate
+
+
+def memo_metadata(fn: Callable) -> Optional[Dict[str, str]]:
+    """The ``shard_memoized`` metadata of a wrapped function, or None."""
+    return getattr(fn, "__repro_memo__", None)
+
+
+def memoized_functions() -> Tuple[Callable, ...]:
+    """Every ``shard_memoized``-wrapped function in this process."""
+    return tuple(_MEMOIZED_FUNCS)
 
 
 def clear_shard_caches() -> None:

@@ -9,7 +9,6 @@ time (a ground-space link).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx

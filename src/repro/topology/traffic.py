@@ -26,7 +26,6 @@ import networkx as nx
 
 from ..geo.population import PopulationGrid
 from ..orbits.coverage import footprint_radius_km
-from ..orbits.groundstations import GroundStation
 from ..orbits.snapshot import snapshot_for
 from .grid import GridTopology
 from .routing import GeospatialRouter

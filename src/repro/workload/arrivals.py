@@ -9,7 +9,6 @@ analytic experiments consume.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List

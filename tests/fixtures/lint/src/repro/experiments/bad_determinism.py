@@ -1,0 +1,43 @@
+"""Known-bad fixture: every determinism rule fires in this file.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample_arrivals(rate: float, n: int):
+    # unseeded-rng: module-level numpy draw (acceptance fixture).
+    return np.random.poisson(rate, size=n)
+
+
+def pick_one(items):
+    # unseeded-rng: module-level stdlib draw.
+    return random.choice(items)
+
+
+def make_rng():
+    # unseeded-rng: seedable constructor without a seed.
+    return np.random.default_rng()
+
+
+def derive_seed(config):
+    # hash-seed: builtin hash() bound to a seed name (acceptance
+    # fixture) and fed to an RNG constructor.
+    seed = hash(config)
+    return random.Random(seed)
+
+
+def stamp_run():
+    # wallclock-time: wall clock read inside experiments/.
+    return time.time()
+
+
+def seeded_is_fine(seed: int, rate: float, n: int):
+    # Negative control: none of these may be flagged.
+    rng = np.random.default_rng(seed)
+    picker = random.Random(seed)
+    return rng.poisson(rate, size=n), picker.random()

@@ -1,0 +1,36 @@
+"""Known-bad fixture: the statelessness rule's acceptance case.
+
+A SpaceCore-path NF growing a per-UE session table -- exactly the
+Fig. 9 violation the rule exists to catch.
+"""
+
+from typing import Dict
+
+
+class SpaceCoreSessionAnchor:
+    """A satellite-resident NF that wrongly anchors sessions."""
+
+    def __init__(self, name: str):
+        self.name = name
+        # stateful-nf: per-UE durable state on a SpaceCore NF
+        # (acceptance fixture).
+        self._sessions: Dict[str, object] = {}
+        # Not per-UE vocabulary: must not be flagged.
+        self._link_budgets: Dict[int, float] = {}
+
+    def remember(self, supi: str, blob: object) -> None:
+        self._ue_contexts = {supi: blob}
+
+
+class Amf:
+    """Allowlisted stateful baseline: holding UE state is its job."""
+
+    def __init__(self):
+        self._contexts: Dict[str, object] = {}
+
+
+class SuppressedProxy:
+    """Inline suppression keeps a justified table out of the report."""
+
+    def __init__(self):
+        self._served_sessions: Dict[str, object] = {}  # repro: ignore[stateful-nf] -- ephemeral fixture

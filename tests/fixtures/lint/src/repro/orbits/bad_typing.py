@@ -1,0 +1,21 @@
+"""Known-bad fixture: implicit-Optional parameter hints."""
+
+from typing import List, Optional, Union
+
+
+def truncated(count: int = None) -> List[int]:
+    # implicit-optional: int does not admit None.
+    return list(range(count or 0))
+
+
+def spaced(spacing_km: float = None, *, label: str = None) -> str:
+    # implicit-optional: both the positional and the kw-only param.
+    return f"{label}@{spacing_km}"
+
+
+def fine(count: Optional[int] = None,
+         other: Union[int, None] = None,
+         anything=None,
+         name: str = "x") -> int:
+    # Negative controls: Optional/Union-None/unannotated/non-None.
+    return (count or 0) + (other or 0) + len(name) + (anything or 0)

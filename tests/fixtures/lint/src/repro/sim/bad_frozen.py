@@ -1,0 +1,37 @@
+"""Known-bad fixture: frozen-mutation rule cases."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """A frozen value type handed out by a shared cache."""
+
+    t: float
+    epoch: int
+
+    def __post_init__(self):
+        # Negative control: a frozen class may build itself.
+        object.__setattr__(self, "epoch", int(self.epoch))
+
+
+def advance(snap: EpochSnapshot) -> EpochSnapshot:
+    # frozen-mutation: in-place mutation of an annotated frozen value.
+    snap.t = snap.t + 1.0
+    return snap
+
+
+def rebuild(t: float):
+    snap = EpochSnapshot(t=t, epoch=0)
+    # frozen-mutation: constructor-inferred local, augmented assign.
+    snap.epoch += 1
+    # frozen-mutation: setattr escape hatch.
+    object.__setattr__(snap, "t", 0.0)
+    return snap
+
+
+def fine(t: float, maybe: Optional[EpochSnapshot] = None) -> float:
+    # Negative control: reads never fire the rule.
+    snap = EpochSnapshot(t=t, epoch=1)
+    return snap.t + (maybe.t if maybe else 0.0)

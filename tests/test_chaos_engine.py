@@ -88,9 +88,10 @@ class TestFaultSchedule:
         assert not open_links, "an outage leaked past the horizon"
 
     def test_link_bursts_reproducible_per_link(self):
-        make = lambda: FaultSchedule().add_link_bursts(
-            [(7, 8)], horizon_s=8000.0, step_s=5.0,
-            p_good_to_bad=0.05, seed=SEED).events()
+        def make():
+            return FaultSchedule().add_link_bursts(
+                [(7, 8)], horizon_s=8000.0, step_s=5.0,
+                p_good_to_bad=0.05, seed=SEED).events()
         assert [e.key() for e in make()] == [e.key() for e in make()]
 
     def test_jamming_window_events(self):

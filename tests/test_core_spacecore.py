@@ -1,6 +1,5 @@
 """Tests for SpaceCore: stateless satellites, home authority, system."""
 
-import math
 
 import pytest
 
@@ -234,7 +233,7 @@ class TestRevocation:
     def test_revoked_satellite_cannot_open_new_states(self):
         home = SpaceCoreHome()
         bad_creds = home.enroll_satellite("sat-bad")
-        good_creds = home.enroll_satellite("sat-good")
+        home.enroll_satellite("sat-good")
         home.revoke_satellite("sat-bad")
         ue = home.provision_subscriber(4)
         home.register(ue, (1, 1), (1, 1))

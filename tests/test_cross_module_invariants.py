@@ -1,8 +1,6 @@
 """Cross-module invariants: the pieces must agree with each other."""
 
-import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -19,7 +19,7 @@ from repro.crypto import (
     serving_satellite_policy,
     setup,
 )
-from repro.crypto.access_tree import Gate, Leaf
+from repro.crypto.access_tree import Gate
 
 
 @pytest.fixture(scope="module")

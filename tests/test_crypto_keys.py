@@ -6,7 +6,6 @@ import random
 import pytest
 
 from repro.crypto import (
-    Certificate,
     Initiator,
     KeyAgreementError,
     Responder,

@@ -10,7 +10,7 @@ from repro.experiments.state_footprint import (
     footprint_comparison,
     satellite_state_footprint,
 )
-from repro.baselines import baoyun, fiveg_ntn, skycore, spacecore
+from repro.baselines import baoyun
 from repro.orbits import IdealPropagator, default_ground_stations, starlink
 from repro.topology import GridTopology
 

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.fiveg import CoreNetwork
-from repro.fiveg.sbi import (
-    SbiError,
-    SbiRequest,
-    SbiResponse,
-    ServiceMesh,
-    build_core_mesh,
-)
+from repro.fiveg.sbi import SbiError, SbiResponse, ServiceMesh, build_core_mesh
 
 
 class TestServiceMesh:

@@ -1,6 +1,5 @@
 """Tests for the S1-S5 state model and the Fig. 9/16 message catalog."""
 
-import pytest
 
 from repro.fiveg import (
     BillingState,

@@ -1,6 +1,5 @@
 """Tests for the group parameters and the Fig. 11 churn experiment."""
 
-import pytest
 
 from repro.crypto.group import SCHNORR_GROUP, SHARE_PRIME, is_probable_prime
 from repro.experiments import (

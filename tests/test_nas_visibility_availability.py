@@ -9,11 +9,7 @@ from repro.experiments import (
     availability_sweep,
     gateway_reachability,
 )
-from repro.fiveg.nas_security import (
-    NasSecurityContext,
-    NasSecurityError,
-    establish_pair,
-)
+from repro.fiveg.nas_security import NasSecurityError, establish_pair
 from repro.orbits import (
     coverage_by_latitude,
     coverage_statistics,

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.constants import EARTH_RADIUS_KM, STARLINK_DWELL_S
+from repro.constants import STARLINK_DWELL_S
 from repro.orbits import (
     IdealPropagator,
     J4Propagator,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.report import generate_report, write_report
+from repro.experiments.report import generate_report
 
 
 @pytest.fixture(scope="module")

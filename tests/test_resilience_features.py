@@ -68,7 +68,7 @@ class TestFailureRecovery:
         replica re-creates everything on the new node."""
         system, ue = system_with_session
         victim = system._ue_serving_sat[str(ue.supi)]
-        dead = system.satellite(victim)
+        system.satellite(victim)  # instantiate the doomed node
         system.topology.fail_satellite(victim)
         new_sat = system.recover_from_satellite_failure(ue, t=0.0)
         # The dead node still holds its stale entry (it is dead, not

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the RRC state machine, QoS shaping, and paging."""
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.paging import (

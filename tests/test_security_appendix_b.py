@@ -21,7 +21,7 @@ from repro.crypto import (
     keygen,
 )
 from repro.crypto.abe import AbeDecryptionError
-from repro.fiveg import SessionState, StateReplica
+from repro.fiveg import SessionState
 
 
 @pytest.fixture()
@@ -104,9 +104,7 @@ class TestConfidentiality:
         authorized key the payload is opaque."""
         home, _, ue = deployment
         wire = ue.replica.to_bytes()
-        state_bytes = None
         # The serialized S1-S5 bundle never appears in the wire blob.
-        bundle = home.core.smf.sessions_for(ue.supi)
         assert b"ip_address" not in wire or b'"payload"' in wire
 
 

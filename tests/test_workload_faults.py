@@ -1,6 +1,5 @@
 """Tests for workload generation and failure/attack models."""
 
-import math
 import random
 
 import pytest

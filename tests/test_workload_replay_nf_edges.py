@@ -1,6 +1,5 @@
 """Tests for Trace 1 replay, CPU replay series, and NF edge cases."""
 
-import math
 
 import pytest
 
@@ -110,7 +109,7 @@ class TestNfEdgeCases:
     def test_amf_transfer_from_unknown_raises(self):
         core = CoreNetwork()
         from repro.fiveg.identifiers import Plmn
-        from repro.fiveg.nf import Amf, Ausf, Udm
+        from repro.fiveg.nf import Amf
         from repro.crypto import generate_keypair
         sk, _ = generate_keypair()
         other = Amf("other", Plmn(460, 0), core.ausf)
