@@ -10,10 +10,14 @@ promise dies the moment any code path
   per process via ``PYTHONHASHSEED`` -- the exact bug ``seed_for``
   was introduced to fix), or
 * reads the wall clock inside simulated code (``sim/``, ``runtime/``,
-  ``experiments/`` must run on the Simulator's clock; wall-clock reads
-  make reruns diverge).  ``time.perf_counter`` is deliberately *not*
-  flagged: measuring how long a computation took is fine, feeding
-  wall time into the computation is not.
+  ``experiments/``, ``fiveg/``, ``core/``, ``faults/`` and ``obs/``
+  must run on the Simulator's clock; wall-clock reads make reruns
+  diverge).  Since ISSUE 5 this includes ``time.perf_counter`` and
+  ``time.monotonic``: the SBI mesh was stamping handler latency with
+  ``perf_counter`` and feeding it into the recorded artifacts, which
+  is exactly the feeding-wall-time-into-the-computation bug.  Timing
+  a benchmark is still fine -- ``benchmarks/`` and the CLI front end
+  are outside the rule's scope.
 """
 
 from __future__ import annotations
@@ -62,9 +66,15 @@ SEED_SINK_TAILS = frozenset({
     "seed_for", "shard_seeds",
 })
 
-#: Wall-clock reads that must not appear in simulated code.
+#: Wall-clock reads that must not appear in simulated code.  The
+#: monotonic timers are included: their *values* are as process-local
+#: and non-reproducible as ``time.time()``, and once one lands in a
+#: metric or artifact (the ISSUE 5 SBI bug) determinism is gone.
 WALLCLOCK_CALLS = frozenset({
     "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 })
@@ -214,10 +224,12 @@ class WallclockRule(Rule):
 
     id = "wallclock-time"
     family = "determinism"
-    description = ("time.time()/datetime.now() inside sim/, runtime/, "
-                   "experiments/ makes reruns diverge; use the "
-                   "Simulator clock or pass timestamps in")
-    scope = ("sim/", "runtime/", "experiments/")
+    description = ("time.time()/perf_counter()/datetime.now() inside "
+                   "simulated code makes reruns diverge; use the "
+                   "Simulator clock, an injectable clock, or pass "
+                   "timestamps in")
+    scope = ("sim/", "runtime/", "experiments/", "fiveg/", "core/",
+             "faults/", "obs/")
 
     def check(self, module: ModuleInfo,
               project: ProjectContext) -> Iterable[Finding]:

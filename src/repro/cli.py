@@ -272,6 +272,65 @@ def _cmd_loadpoint(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from .experiments import (
+        ChaosScenario,
+        chaos_observability,
+        cohort_observability,
+        write_metrics_snapshot,
+    )
+    if args.experiment == "cohort":
+        payload = cohort_observability(
+            n_ues=args.ues, duration_s=args.duration,
+            base_seed=args.seed, n_cohorts=args.cohorts,
+            workers=args.workers)
+    else:
+        scenario = ChaosScenario(seed=args.seed, n_ues=args.ues,
+                                 horizon_s=args.horizon)
+        payload = chaos_observability(
+            n_trials=args.trials, base_seed=args.seed,
+            scenario=scenario, workers=args.workers)
+    snapshot = payload["snapshot"]
+    print(f"metrics -- {args.experiment} experiment, seed {args.seed}:")
+    print(f"  counters:   {len(snapshot['counters'])} series")
+    print(f"  gauges:     {len(snapshot['gauges'])} series")
+    print(f"  histograms: {len(snapshot['histograms'])} series")
+    for key, value in sorted(snapshot["counters"].items()):
+        print(f"    {key} = {value}")
+    if args.output:
+        write_metrics_snapshot(args.output, payload)
+        print(f"  wrote {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .experiments import (
+        ChaosScenario,
+        chaos_observability,
+        write_trace_jsonl,
+    )
+    scenario = ChaosScenario(seed=args.seed, n_ues=args.ues,
+                             horizon_s=args.horizon)
+    payload = chaos_observability(n_trials=args.trials,
+                                  base_seed=args.seed,
+                                  scenario=scenario,
+                                  workers=args.workers)
+    spans = payload["trace"]
+    print(f"trace -- chaos experiment, seed {args.seed}: "
+          f"{len(spans)} spans")
+    for span in spans[:args.head]:
+        window = (f"[{span['start_s']:8.1f}s]"
+                  if span["end_s"] == span["start_s"] else
+                  f"[{span['start_s']:8.1f}s .. {span['end_s']:8.1f}s]")
+        print(f"  {window} {span['name']}")
+    if len(spans) > args.head:
+        print(f"  ... {len(spans) - args.head} more")
+    if args.output:
+        written = write_trace_jsonl(args.output, payload)
+        print(f"  wrote {written} spans to {args.output}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis import lint_main
     return lint_main(
@@ -313,6 +372,10 @@ _COMMANDS: Dict[str, tuple] = {
     "chaos": (_cmd_chaos, "session survival under injected churn"),
     "loadpoint": (_cmd_loadpoint,
                   "population-scale load point (cohort engine)"),
+    "metrics": (_cmd_metrics,
+                "deterministic metrics snapshot of an experiment"),
+    "trace": (_cmd_trace,
+              "sim-time span trace of the chaos experiment (JSONL)"),
     "lint": (_cmd_lint,
              "statelessness/determinism invariant checks (static)"),
 }
@@ -361,6 +424,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="shard trials across N worker "
                                   "processes (default: REPRO_WORKERS "
                                   "or serial)")
+            sub.add_argument("--output", default=None)
+        if name in ("metrics", "trace"):
+            if name == "metrics":
+                sub.add_argument("--experiment",
+                                 choices=("chaos", "cohort"),
+                                 default="chaos")
+                sub.add_argument("--duration", type=float, default=600.0,
+                                 help="cohort-sweep duration (seconds)")
+                sub.add_argument("--cohorts", type=int, default=32)
+            else:
+                sub.add_argument("--head", type=int, default=10,
+                                 help="spans to echo to stdout")
+            sub.add_argument("--ues", type=int, default=24)
+            sub.add_argument("--horizon", type=float, default=3600.0)
+            sub.add_argument("--seed", type=int, default=0)
+            sub.add_argument("--trials", type=int, default=1)
+            sub.add_argument("--workers", type=int, default=None,
+                             help="shard across N worker processes "
+                                  "(default: REPRO_WORKERS or serial); "
+                                  "the artifact is identical for any "
+                                  "value")
             sub.add_argument("--output", default=None)
         if name == "lint":
             sub.add_argument("paths", nargs="*",

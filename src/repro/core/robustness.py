@@ -33,6 +33,8 @@ from ..constants import (
 )
 from ..fiveg.procedures import ProcedureError
 from ..fiveg.ue import UserEquipment
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from ..obs.tracing import Tracer
 from .satellite import FallbackRequired
 from .spacecore import SpaceCoreSystem
 
@@ -63,13 +65,20 @@ class ResilientSpaceCore:
     def __init__(self, system: SpaceCoreSystem,
                  max_attempts: int = NAS_MAX_ATTEMPTS,
                  backoff_base_s: float = NAS_RETRY_BACKOFF_BASE_S,
-                 backoff_cap_s: float = NAS_RETRY_BACKOFF_CAP_S):
+                 backoff_cap_s: float = NAS_RETRY_BACKOFF_CAP_S,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         self.system = system
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        #: Optional observability: per-procedure attempt/latency series
+        #: and one trace span per timed procedure, all on simulated
+        #: time (``started_at`` .. ``started_at + total_delay_s``).
+        self.metrics = metrics
+        self.tracer = tracer
         self.outcomes: List[ProcedureOutcome] = []
         self.lost_sessions: List[str] = []
         self._ues: Dict[str, UserEquipment] = {}
@@ -113,13 +122,38 @@ class ResilientSpaceCore:
             outcome = ProcedureOutcome(
                 procedure, supi, t, attempt + 1, elapsed,
                 completed=True, abandoned=False, detail=detail)
-            self.outcomes.append(outcome)
+            self._record_outcome(outcome)
             return result, outcome
         outcome = ProcedureOutcome(
             procedure, supi, t, self.max_attempts, elapsed,
             completed=False, abandoned=True, detail=detail)
-        self.outcomes.append(outcome)
+        self._record_outcome(outcome)
         return None, outcome
+
+    def _record_outcome(self, outcome: ProcedureOutcome) -> None:
+        """Append to the log and feed the optional observability sinks."""
+        self.outcomes.append(outcome)
+        if self.metrics is not None:
+            labels = {"procedure": outcome.procedure}
+            self.metrics.counter("procedure.runs", **labels).inc()
+            self.metrics.counter("procedure.attempts",
+                                 **labels).inc(outcome.attempts)
+            self.metrics.histogram(
+                "procedure.attempts_per_run",
+                buckets=DEFAULT_COUNT_BUCKETS,
+                **labels).observe(outcome.attempts)
+            self.metrics.histogram("procedure.delay_s",
+                                   **labels).observe(outcome.total_delay_s)
+            fate = "abandoned" if outcome.abandoned else "completed"
+            self.metrics.counter(f"procedure.{fate}", **labels).inc()
+        if self.tracer is not None:
+            self.tracer.record(
+                f"procedure.{outcome.procedure}",
+                outcome.started_at,
+                outcome.started_at + outcome.total_delay_s,
+                supi=outcome.supi, attempts=outcome.attempts,
+                completed=outcome.completed,
+                abandoned=outcome.abandoned)
 
     # -- timed procedures ----------------------------------------------------------
 

@@ -41,6 +41,12 @@ from .moving_areas import (
     geospatial_area_churn,
     logical_area_churn,
 )
+from .observability import (
+    chaos_observability,
+    cohort_observability,
+    write_metrics_snapshot,
+    write_trace_jsonl,
+)
 from .prototype import (
     FIG17_RATES,
     PrototypePoint,
@@ -114,6 +120,8 @@ __all__ = [
     "TemporalSample", "load_variation", "satellite_ground_track_load",
     "StallResult", "fig21_comparison", "satellite_pass_impact",
     "stall_summary", "tcp_recovery_time_s",
+    "chaos_observability", "cohort_observability",
+    "write_metrics_snapshot", "write_trace_jsonl",
     "generate_report", "write_report",
     "ServiceAreaChurn", "fig11_comparison", "geospatial_area_churn",
     "logical_area_churn",

@@ -282,15 +282,28 @@ class _StatefulBaseline:
 
 def run_chaos_availability(
         constellation: Optional[Constellation] = None,
-        scenario: Optional[ChaosScenario] = None
-        ) -> ChaosAvailabilityResult:
-    """One seeded churn run: SpaceCore vs the stateful baseline."""
+        scenario: Optional[ChaosScenario] = None,
+        metrics=None, tracer=None) -> ChaosAvailabilityResult:
+    """One seeded churn run: SpaceCore vs the stateful baseline.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
+    ``tracer`` (a :class:`~repro.obs.tracing.Tracer`, which gets the
+    simulator's clock injected) instrument the run without changing
+    its behaviour: the engine, chaos controller and recovery machinery
+    all share the same sinks.
+    """
     scenario = scenario if scenario is not None else ChaosScenario()
     system = SpaceCoreSystem(constellation
                              if constellation is not None else starlink())
     sim = Simulator()
-    controller = ChaosController(sim, system.topology)
-    resilient = ResilientSpaceCore(system)
+    if metrics is not None:
+        sim.attach_metrics(metrics)
+    if tracer is not None:
+        tracer.set_clock(lambda: sim.now)
+    controller = ChaosController(sim, system.topology, metrics=metrics,
+                                 tracer=tracer)
+    resilient = ResilientSpaceCore(system, metrics=metrics,
+                                   tracer=tracer)
     baseline = _StatefulBaseline(system, scenario, controller)
 
     # -- population + initial attach at t=0 -------------------------------------

@@ -1,0 +1,185 @@
+"""Instrumented experiment runs: metrics snapshots and sim-time traces.
+
+The observability subsystem (:mod:`repro.obs`) is deliberately inert
+until an experiment hands its registry and tracer to the layers it
+wants watched.  This module is that glue: it runs the chaos-churn
+experiment and the population-scale cohort sweep with per-shard
+:class:`~repro.obs.metrics.MetricsRegistry` instances, then folds the
+per-shard snapshots with
+:func:`~repro.obs.metrics.merge_snapshots` **in shard-index order** --
+the same order whether the shards ran serially or across a process
+pool -- so the merged artifact is bit-identical for any worker count.
+
+Nothing about the execution medium (worker count, wall time, host)
+appears in any payload; every timestamp is simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import MetricsRegistry, Tracer, merge_snapshots
+from ..orbits.constellation import Constellation
+from ..runtime.cohort import UECohortEngine
+from ..runtime.parallel import run_sharded, seed_for
+from .chaos_availability import ChaosScenario, run_chaos_availability
+
+__all__ = [
+    "chaos_observability",
+    "cohort_observability",
+    "write_metrics_snapshot",
+    "write_trace_jsonl",
+]
+
+
+# ---------------------------------------------------------------------------
+# Chaos Monte Carlo, instrumented
+# ---------------------------------------------------------------------------
+
+def _observed_chaos_trial(work) -> Dict:
+    """One instrumented churn trial (module-level: must pickle).
+
+    Each trial gets a *fresh* registry and tracer, so per-trial
+    snapshots are independent of sharding; the parent does the only
+    cross-trial arithmetic (the merge), in trial order.
+    """
+    trial, base_seed, scenario, constellation = work
+    trial_scenario = replace(
+        scenario, seed=seed_for(base_seed, f"chaos-trial:{trial}"))
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    result = run_chaos_availability(constellation=constellation,
+                                    scenario=trial_scenario,
+                                    metrics=metrics, tracer=tracer)
+    spans = tracer.to_dicts()
+    for span in spans:
+        span["attrs"]["trial"] = trial
+    return {
+        "trial": trial,
+        "snapshot": metrics.snapshot(),
+        "trace": spans,
+        "final_spacecore_survival": result.final_spacecore_survival,
+        "final_baseline_survival": result.final_baseline_survival,
+    }
+
+
+def chaos_observability(n_trials: int = 1, base_seed: int = 0,
+                        scenario: Optional[ChaosScenario] = None,
+                        constellation: Optional[Constellation] = None,
+                        workers: Optional[int] = None) -> Dict:
+    """Instrumented chaos Monte Carlo: merged metrics + full trace.
+
+    Trial ``k`` is seeded ``seed_for(base_seed, "chaos-trial:k")`` and
+    instrumented with its own registry/tracer; snapshots merge in
+    trial order and traces concatenate in trial order, so the payload
+    is bit-identical for any ``workers`` value.
+    """
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    scenario = scenario if scenario is not None else ChaosScenario()
+    work = [(trial, base_seed, scenario, constellation)
+            for trial in range(n_trials)]
+    shards = run_sharded(_observed_chaos_trial, work, workers=workers)
+    return {
+        "experiment": "chaos",
+        "base_seed": base_seed,
+        "n_trials": n_trials,
+        "snapshot": merge_snapshots([s["snapshot"] for s in shards]),
+        "per_trial": [{"trial": s["trial"], "snapshot": s["snapshot"]}
+                      for s in shards],
+        "trace": [span for s in shards for span in s["trace"]],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Cohort-engine sweep, instrumented
+# ---------------------------------------------------------------------------
+
+def _solution_by_name(name: str):
+    """Resolve a solution factory by display name inside a shard."""
+    from ..baselines import ALL_SOLUTIONS
+    for factory in ALL_SOLUTIONS:
+        solution = factory()
+        if solution.name == name:
+            return solution
+    raise KeyError(f"unknown solution {name!r}")
+
+
+def _observed_cohort_point(work) -> Dict:
+    """One instrumented cohort design point (module-level: must pickle)."""
+    (index, solution_name, constellation, n_ues, duration_s,
+     base_seed, n_cohorts) = work
+    metrics = MetricsRegistry()
+    engine = UECohortEngine(
+        constellation, n_ues=n_ues,
+        solution=_solution_by_name(solution_name),
+        seed=seed_for(base_seed, f"cohort-point:{solution_name}"),
+        n_cohorts=n_cohorts, metrics=metrics)
+    stats = engine.run(duration_s)
+    return {
+        "solution": solution_name,
+        "snapshot": metrics.snapshot(),
+        "events_total": stats.events_total,
+        "signaling_messages": stats.signaling_messages,
+    }
+
+
+def cohort_observability(solutions: Optional[Sequence[str]] = None,
+                         constellation: Optional[Constellation] = None,
+                         n_ues: int = 20_000, duration_s: float = 600.0,
+                         base_seed: int = 0, n_cohorts: int = 32,
+                         workers: Optional[int] = None) -> Dict:
+    """Instrumented cohort sweep: one design point per solution.
+
+    Each point runs on its own registry with a seed derived from the
+    solution name (not the shard slot), so the merged snapshot is
+    independent of worker count and of the order solutions are listed
+    relative to pool scheduling.
+    """
+    if constellation is None:
+        from ..orbits.constellation import starlink
+        constellation = starlink()
+    if solutions is None:
+        from ..baselines import ALL_SOLUTIONS
+        solutions = [factory().name for factory in ALL_SOLUTIONS]
+    work = [(index, name, constellation, n_ues, duration_s, base_seed,
+             n_cohorts) for index, name in enumerate(solutions)]
+    shards = run_sharded(_observed_cohort_point, work, workers=workers)
+    return {
+        "experiment": "cohort",
+        "base_seed": base_seed,
+        "n_ues": n_ues,
+        "duration_s": duration_s,
+        "snapshot": merge_snapshots([s["snapshot"] for s in shards]),
+        "per_point": shards,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Artifact writers
+# ---------------------------------------------------------------------------
+
+def write_metrics_snapshot(path: str, payload: Dict) -> None:
+    """Write the snapshot artifact, sans trace, with sorted keys.
+
+    The trace rides in the payload for convenience but belongs in the
+    JSONL artifact (:func:`write_trace_jsonl`); stripping it here
+    keeps the snapshot small and diffable -- CI compares the
+    ``--workers 1`` and ``--workers 2`` files byte-for-byte.
+    """
+    slim = {key: value for key, value in payload.items()
+            if key != "trace"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(slim, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_trace_jsonl(path: str, payload: Dict) -> int:
+    """Write the trace as one sorted-key JSON object per line."""
+    spans = payload.get("trace", [])
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span, sort_keys=True) + "\n")
+    return len(spans)

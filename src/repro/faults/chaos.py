@@ -40,6 +40,8 @@ from typing import (
 )
 
 from ..constants import STARLINK_FAILURE_FRACTION
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..sim.engine import Simulator
 from .attacks import JammingAttack
 from .failures import GilbertElliottChannel
@@ -224,9 +226,16 @@ class ChaosController:
     instant they happen.
     """
 
-    def __init__(self, sim: Simulator, topology):
+    def __init__(self, sim: Simulator, topology,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.topology = topology
+        #: Optional observability: per-kind fault counters and one
+        #: ``fault.<kind>`` trace event (at ``sim.now``) per applied
+        #: event, alongside the append-only :attr:`log`.
+        self.metrics = metrics
+        self.tracer = tracer
         self.log: List[FaultEvent] = []
         self._subscribers: List[Callable[[FaultEvent], None]] = []
         self.events_armed = 0
@@ -265,6 +274,11 @@ class ChaosController:
         elif kind is FaultKind.JAM_STOP:
             event.attack.lift(self.topology, self.sim.now)
         self.log.append(event)
+        if self.metrics is not None:
+            self.metrics.counter("chaos.faults", kind=kind.value).inc()
+        if self.tracer is not None:
+            self.tracer.event(f"fault.{kind.value}",
+                              target=list(event.target))
         for subscriber in self._subscribers:
             subscriber(event)
 

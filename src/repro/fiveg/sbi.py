@@ -11,9 +11,10 @@ figures plot.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
+
+from ..obs.metrics import MetricsRegistry
 
 #: The standard service operations the procedures use.
 KNOWN_SERVICES = (
@@ -60,17 +61,10 @@ Handler = Callable[[SbiRequest], SbiResponse]
 
 @dataclass
 class ServiceRecord:
+    """One registered service operation (who produces it, and how)."""
+
     producer: str
     handler: Handler
-    invocations: int = 0
-    failures: int = 0
-    total_latency_s: float = 0.0
-
-    @property
-    def mean_latency_s(self) -> float:
-        if not self.invocations:
-            return 0.0
-        return self.total_latency_s / self.invocations
 
 
 class ServiceMesh:
@@ -79,12 +73,25 @@ class ServiceMesh:
     ``transport_latency`` optionally charges a per-call delay (e.g.
     the satellite-to-ground RTT when producer and consumer straddle
     the boundary); callers pass a function of (consumer, producer).
+
+    Invocation/failure totals and handler latency live in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (pass one to share it
+    with the rest of an instrumented run; the mesh creates a private
+    one otherwise).  Handler latency is stamped by the injectable
+    ``clock`` -- a zero-argument callable such as ``lambda: sim.now``.
+    With no clock, latency is simply not measured: the mesh never
+    falls back to the wall clock, which would poison the deterministic
+    artifacts with non-reproducible timings.
     """
 
     def __init__(self, transport_latency: Optional[
-            Callable[[str, str], float]] = None):
+            Callable[[str, str], float]] = None,
+            clock: Optional[Callable[[], float]] = None,
+            metrics: Optional[MetricsRegistry] = None):
         self._services: Dict[str, ServiceRecord] = {}
         self._transport_latency = transport_latency
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.simulated_latency_s = 0.0
 
     # -- registration -------------------------------------------------------------
@@ -124,40 +131,44 @@ class ServiceMesh:
             self.simulated_latency_s += self._transport_latency(
                 consumer, record.producer)
         request = SbiRequest(service, consumer, dict(payload))
-        start = time.perf_counter()
+        self.metrics.counter("sbi.invocations", service=service).inc()
+        start = self._clock() if self._clock is not None else None
         try:
             response = record.handler(request)
         except Exception as exc:  # producer bug -> 500
-            record.failures += 1
-            record.invocations += 1
-            record.total_latency_s += time.perf_counter() - start
-            return SbiResponse(500, {"error": str(exc)})
-        record.invocations += 1
-        record.total_latency_s += time.perf_counter() - start
+            response = SbiResponse(500, {"error": str(exc)})
+        if start is not None and self._clock is not None:
+            self.metrics.histogram(
+                "sbi.latency_s", service=service).observe(
+                    self._clock() - start)
         if not response.ok:
-            record.failures += 1
+            self.metrics.counter("sbi.failures", service=service).inc()
         return response
 
     # -- observability ---------------------------------------------------------------
 
     def invocation_counts(self) -> Dict[str, int]:
         """Per-service invocation totals (observability)."""
-        return {name: record.invocations
-                for name, record in self._services.items()}
+        return {name: int(self.metrics.counter_value(
+                    "sbi.invocations", service=name))
+                for name in self._services}
 
     def total_invocations(self) -> int:
         """All invocations across every registered service."""
-        return sum(r.invocations for r in self._services.values())
+        return sum(self.invocation_counts().values())
 
     def failure_counts(self) -> Dict[str, int]:
         """Per-service failure totals, omitting clean services."""
-        return {name: record.failures
-                for name, record in self._services.items()
-                if record.failures}
+        counts = {name: int(self.metrics.counter_value(
+                      "sbi.failures", service=name))
+                  for name in self._services}
+        return {name: count for name, count in counts.items() if count}
 
 
 def build_core_mesh(core, transport_latency: Optional[
-        Callable[[str, str], float]] = None) -> ServiceMesh:
+        Callable[[str, str], float]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None) -> ServiceMesh:
     """Wire a :class:`~repro.fiveg.core.CoreNetwork`'s NFs to a mesh.
 
     Exposes the subset of operations the C1/C2 procedures consume, each
@@ -165,7 +176,7 @@ def build_core_mesh(core, transport_latency: Optional[
     """
     from .identifiers import Supi
 
-    mesh = ServiceMesh(transport_latency)
+    mesh = ServiceMesh(transport_latency, clock=clock, metrics=metrics)
 
     def _supi(request: SbiRequest) -> Supi:
         raw = request.payload["supi"]

@@ -1,0 +1,35 @@
+"""Deterministic observability: metrics, tracing, mergeable snapshots.
+
+The missing pillar the first four PRs exposed: fast geometry (PR 1),
+chaos (PR 2), a sharded runtime (PR 3) and a lint gate (PR 4) all
+*produce* numbers, but each kept its own ad-hoc counters.  This
+package gives every layer one instrument vocabulary --
+:class:`MetricsRegistry` for counts/levels/distributions,
+:class:`Tracer` for simulated-time spans -- with the same determinism
+contract the rest of the repo obeys: no wall clock, snapshots are
+plain dicts, and per-shard snapshots merge to bit-identical totals
+regardless of worker count.
+"""
+
+from .metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from .tracing import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "merge_snapshots",
+]

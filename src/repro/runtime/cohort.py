@@ -28,6 +28,7 @@ import numpy as np
 
 from ..constants import RRC_INACTIVITY_TIMEOUT_S, SESSION_INTERARRIVAL_S
 from ..fiveg.messages import ProcedureKind
+from ..obs.metrics import MetricsRegistry
 from .memo import cached_dwell_time_s
 from .parallel import seed_for
 
@@ -87,7 +88,8 @@ class UECohortEngine:
                  n_cohorts: int = DEFAULT_COHORTS,
                  session_interval_s: float = SESSION_INTERARRIVAL_S,
                  rrc_timeout_s: float = RRC_INACTIVITY_TIMEOUT_S,
-                 dwell_s: Optional[float] = None):
+                 dwell_s: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if n_ues < 1:
             raise ValueError("need at least one UE")
         if n_cohorts < 1:
@@ -109,6 +111,9 @@ class UECohortEngine:
         self.session_interval_s = session_interval_s
         self.rrc_timeout_s = rrc_timeout_s
         self.dwell_s = dwell_s
+        #: Optional observability sink mirroring :class:`CohortStats`
+        #: as mergeable ``cohort.*`` series.
+        self.metrics = metrics
         # Cohort sizes: n_ues split as evenly as integers allow.
         base, extra = divmod(n_ues, self.n_cohorts)
         sizes = np.full(self.n_cohorts, base, dtype=np.int64)
@@ -184,7 +189,31 @@ class UECohortEngine:
             totals.get(ProcedureKind.MOBILITY_REGISTRATION, 0)
         stats.initial_registrations = \
             totals.get(ProcedureKind.INITIAL_REGISTRATION, 0)
+        if self.metrics is not None:
+            self._export_metrics(stats)
         return stats
+
+    def _export_metrics(self, stats: CohortStats) -> None:
+        """Mirror one run's counters into the registry, mergeable."""
+        assert self.metrics is not None
+        solution = self.solution.name
+        self.metrics.counter("cohort.runs", solution=solution).inc()
+        self.metrics.counter("cohort.ue_seconds", solution=solution).inc(
+            stats.ue_count * stats.duration_s)
+        for name, total in sorted(stats.events_by_procedure.items()):
+            self.metrics.counter("cohort.events", solution=solution,
+                                 procedure=name).inc(total)
+        for kind, total in (
+                ("signaling", stats.signaling_messages),
+                ("satellite", stats.satellite_messages),
+                ("crossing", stats.crossing_messages)):
+            self.metrics.counter("cohort.messages", solution=solution,
+                                 kind=kind).inc(total)
+        self.metrics.counter("cohort.sessions_established",
+                             solution=solution).inc(
+                                 stats.sessions_established)
+        self.metrics.counter("cohort.releases",
+                             solution=solution).inc(stats.releases)
 
     # -- cross-validation --------------------------------------------------------
 

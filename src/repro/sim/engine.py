@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+
 
 @dataclass(order=True)
 class _QueuedEvent:
@@ -41,18 +43,28 @@ class EventHandle:
         self.cancelled = True
         if self._sim is not None:
             self._sim._live -= 1
+            if self._sim._metrics is not None:
+                self._sim._metrics.counter("sim.events_cancelled").inc()
 
 
 class PeriodicHandle:
     """Cancellation handle for a periodic event chain."""
 
-    __slots__ = ("current",)
+    __slots__ = ("current", "cancelled")
 
     def __init__(self):
         self.current: Optional[EventHandle] = None
+        self.cancelled = False
 
     def cancel(self) -> None:
-        """Stop the periodic chain (no-op when never armed)."""
+        """Stop the periodic chain (no-op when never armed).
+
+        Safe to call from inside the periodic callback itself: the
+        currently-firing event has already fired (so cancelling it is
+        a no-op), but the chain-level flag stops ``fire`` from
+        re-arming afterwards.
+        """
+        self.cancelled = True
         if self.current is not None:
             self.current.cancel()
 
@@ -78,6 +90,19 @@ class Simulator:
         # Live (scheduled, not yet fired or cancelled) event count,
         # maintained incrementally so pending() is O(1).
         self._live = 0
+        # Optional observability sink; None keeps the hot loop free of
+        # instrumentation overhead.
+        self._metrics: Optional[MetricsRegistry] = None
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Instrument the event loop with ``sim.*`` series.
+
+        Counters track scheduled / processed / cancelled events and
+        the ``sim.time_s`` gauge follows the simulated clock -- all
+        derived from simulated quantities, never the wall clock, so
+        snapshots stay bit-reproducible.
+        """
+        self._metrics = registry
 
     @property
     def now(self) -> float:
@@ -103,6 +128,8 @@ class Simulator:
         heapq.heappush(self._queue,
                        _QueuedEvent(time, next(self._seq), handle))
         self._live += 1
+        if self._metrics is not None:
+            self._metrics.counter("sim.events_scheduled").inc()
         return handle
 
     def schedule_periodic(self, interval: float, callback: Callable,
@@ -122,6 +149,8 @@ class Simulator:
 
         def fire():
             callback(*args)
+            if chain.cancelled:
+                return
             delay = interval + (jitter() if jitter else 0.0)
             chain.current = self.schedule(max(1e-9, delay), fire)
 
@@ -142,6 +171,9 @@ class Simulator:
             self._now = entry.time
             entry.handle.callback(*entry.handle.args)
             self.events_processed += 1
+            if self._metrics is not None:
+                self._metrics.counter("sim.events_processed").inc()
+                self._metrics.gauge("sim.time_s").set(self._now)
             return True
         return False
 

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 from ..topology.grid import GridTopology
 from ..topology.routing import GeospatialRouter
 from .engine import Simulator
@@ -63,7 +64,8 @@ class PacketSimulation:
                  channel_model=None,
                  max_retransmits: int = 2,
                  max_reroutes: int = 0,
-                 retransmit_timeout_s: float = 0.03):
+                 retransmit_timeout_s: float = 0.03,
+                 metrics: Optional[MetricsRegistry] = None):
         if link_rate_mbps <= 0:
             raise ValueError("link rate must be positive")
         if not 0.0 <= loss_probability < 1.0:
@@ -88,6 +90,12 @@ class PacketSimulation:
         self.max_reroutes = max_reroutes
         self.retransmit_timeout_s = retransmit_timeout_s
         self._rng = random.Random(seed)
+        #: Optional observability sink; per-link queueing histograms
+        #: plus retransmit/reroute/drop counters land here, and the
+        #: event engine itself is instrumented through it.
+        self.metrics = metrics
+        if metrics is not None:
+            self.sim.attach_metrics(metrics)
         #: When each directed link (a, b) next becomes free.
         self._link_free_at: Dict[Tuple[int, int], float] = {}
         self.records: List[PacketRecord] = []
@@ -98,15 +106,25 @@ class PacketSimulation:
     def send(self, src_sat: int, dest_lat: float, dest_lon: float,
              size_bytes: int = 1500, at_s: float = 0.0,
              route_t: float = 0.0) -> PacketRecord:
-        """Inject one packet; its delivery unfolds on the event queue."""
+        """Inject one packet; its delivery unfolds on the event queue.
+
+        ``at_s`` earlier than the simulated clock is clamped to *now*
+        for both the first hop and ``sent_at_s``: a packet cannot be
+        injected into the past, and its reported latency must measure
+        from when it actually entered the network, not from the stale
+        request time.
+        """
         route = self.router.route(src_sat, dest_lat, dest_lon, route_t)
-        record = PacketRecord(self._next_id, src_sat, at_s)
+        injected_at_s = max(at_s, self.sim.now)
+        record = PacketRecord(self._next_id, src_sat, injected_at_s)
         self._next_id += 1
         self.records.append(record)
+        if self.metrics is not None:
+            self.metrics.counter("packet.sent").inc()
         if not route.delivered:
-            record.dropped = True
+            self._drop(record, "unroutable")
             return record
-        self.sim.schedule_at(max(at_s, self.sim.now), self._hop,
+        self.sim.schedule_at(injected_at_s, self._hop,
                              record, route.path, 0, size_bytes, route_t,
                              (dest_lat, dest_lon))
         return record
@@ -114,12 +132,24 @@ class PacketSimulation:
     def _serialization_s(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / (self.link_rate_mbps * 1e6)
 
+    def _drop(self, record: PacketRecord, reason: str) -> None:
+        record.dropped = True
+        if self.metrics is not None:
+            self.metrics.counter("packet.dropped", reason=reason).inc()
+
     def _hop(self, record: PacketRecord, path: List[int], index: int,
              size_bytes: int, route_t: float,
              dest: Optional[Tuple[float, float]] = None) -> None:
         """Process the packet's arrival at ``path[index]``."""
         if index == len(path) - 1:
             record.delivered_at_s = self.sim.now
+            if self.metrics is not None:
+                self.metrics.counter("packet.delivered").inc()
+                self.metrics.histogram("packet.latency_s").observe(
+                    record.latency_s or 0.0)
+                self.metrics.histogram(
+                    "packet.hops",
+                    buckets=DEFAULT_COUNT_BUCKETS).observe(record.hops)
             return
         current, nxt = path[index], path[index + 1]
         if not self.topology.isl_up(current, nxt):
@@ -128,7 +158,7 @@ class PacketSimulation:
             return
         if (self.loss_probability
                 and self._rng.random() < self.loss_probability):
-            record.dropped = True
+            self._drop(record, "random-loss")
             return
         if (self.channel_model is not None
                 and self.channel_model.frame_lost(current, nxt)):
@@ -137,6 +167,10 @@ class PacketSimulation:
                 # timeout; the burst process keeps advancing, so a
                 # short burst usually clears before the cap.
                 record.retransmits += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "packet.retransmits",
+                        link=f"{current}-{nxt}").inc()
                 self.sim.schedule_at(
                     self.sim.now + self.retransmit_timeout_s,
                     self._hop, record, path, index, size_bytes, route_t,
@@ -152,6 +186,10 @@ class PacketSimulation:
         serialization = self._serialization_s(size_bytes)
         start = max(self.sim.now, self._link_free_at.get(link,
                                                          self.sim.now))
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "packet.queue_wait_s",
+                link=f"{current}-{nxt}").observe(start - self.sim.now)
         self._link_free_at[link] = start + serialization
         propagation = self.topology.isl_delay_s(current, nxt, route_t)
         arrival = start + serialization + propagation
@@ -171,13 +209,16 @@ class PacketSimulation:
         legacy semantics -- a failed link mid-flight drops the packet.
         """
         if (dest is None or record.reroutes >= self.max_reroutes):
-            record.dropped = True
+            self._drop(record, "link-failed")
             return
         record.reroutes += 1
+        if self.metrics is not None:
+            self.metrics.counter("packet.reroutes",
+                                 at_sat=current).inc()
         route = self.router.route(current, dest[0], dest[1], route_t,
                                   avoid_links=avoid)
         if not route.delivered:
-            record.dropped = True
+            self._drop(record, "no-alternate-route")
             return
         self.sim.schedule_at(self.sim.now, self._hop, record,
                              route.path, 0, size_bytes, route_t, dest)

@@ -36,6 +36,13 @@ def stamp_run():
     return time.time()
 
 
+def measure_handler():
+    # wallclock-time: monotonic timer feeding simulated accounting
+    # (the ISSUE 5 SBI bug shape).
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
 def seeded_is_fine(seed: int, rate: float, n: int):
     # Negative control: none of these may be flagged.
     rng = np.random.default_rng(seed)

@@ -58,6 +58,22 @@ class TestDeterminismRules:
         hits = by_rule(self.findings, "wallclock-time")
         assert any("time.time" in f.message for f in hits)
 
+    def test_perf_counter_is_caught(self):
+        # ISSUE 5: the SBI mesh fed perf_counter() readings into its
+        # latency accounting; monotonic timers are now banned in scope.
+        hits = by_rule(self.findings, "wallclock-time")
+        assert any("time.perf_counter" in f.message for f in hits)
+
+    def test_wallclock_scope_covers_instrumented_layers(self):
+        rule = next(r for r in get_rules(["wallclock-time"]))
+        assert rule.applies_to("src/repro/fiveg/sbi.py")
+        assert rule.applies_to("src/repro/obs/metrics.py")
+        assert rule.applies_to("src/repro/core/robustness.py")
+        assert rule.applies_to("src/repro/faults/chaos.py")
+        # Benchmark timing and the CLI front end stay legal.
+        assert not rule.applies_to("src/repro/cli.py")
+        assert not rule.applies_to("benchmarks/test_perf_snapshot.py")
+
     def test_seeded_draws_are_not_flagged(self):
         # The negative-control function sits at the bottom of the
         # fixture; nothing may be flagged past its first line.

@@ -62,6 +62,70 @@ class TestServiceMesh:
         assert not mesh.is_registered("S")
 
 
+class TestDeterministicObservability:
+    """ISSUE 5 regression: the mesh never reads the wall clock."""
+
+    def test_no_wallclock_in_module(self):
+        """The old implementation stamped handler latency with
+        ``time.perf_counter()`` -- non-reproducible wall-clock data
+        inside the deterministic bus."""
+        import inspect
+
+        import repro.fiveg.sbi as sbi_module
+        source = inspect.getsource(sbi_module)
+        assert "perf_counter" not in source
+        assert "import time" not in source
+
+    def test_injected_clock_measures_handler_latency(self):
+        ticks = {"t": 0.0}
+
+        def clock():
+            # Each read advances the fake simulated clock, so one
+            # invocation spans exactly 1.0 simulated seconds.
+            ticks["t"] += 1.0
+            return ticks["t"]
+
+        mesh = ServiceMesh(clock=clock)
+        mesh.register("S", "p", lambda req: SbiResponse(200))
+        mesh.invoke("S", "c")
+        snapshot = mesh.metrics.snapshot()
+        series = snapshot["histograms"]["sbi.latency_s{service=S}"]
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(1.0)
+
+    def test_no_clock_means_no_latency_series(self):
+        mesh = ServiceMesh()
+        mesh.register("S", "p", lambda req: SbiResponse(200))
+        mesh.invoke("S", "c")
+        assert mesh.metrics.snapshot()["histograms"] == {}
+        assert mesh.invocation_counts()["S"] == 1
+
+    def test_identical_runs_produce_identical_snapshots(self):
+        import json
+
+        def run():
+            mesh = ServiceMesh(clock=lambda: 0.0)
+            mesh.register("S", "p", lambda req: SbiResponse(200))
+            mesh.register("F", "p", lambda req: SbiResponse(503))
+            for _ in range(3):
+                mesh.invoke("S", "c")
+            mesh.invoke("F", "c")
+            return json.dumps(mesh.metrics.snapshot(), sort_keys=True)
+
+        assert run() == run()
+
+    def test_shared_registry_accumulates_across_meshes(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for _ in range(2):
+            mesh = ServiceMesh(metrics=registry)
+            mesh.register("S", "p", lambda req: SbiResponse(200))
+            mesh.invoke("S", "c")
+        assert registry.counter_value("sbi.invocations",
+                                      service="S") == 2
+
+
 class TestCoreMesh:
     @pytest.fixture()
     def wired(self):

@@ -123,3 +123,46 @@ class TestLossAndFailures:
         sim = PacketSimulation(topology)
         with pytest.raises(RuntimeError):
             sim.latency_stats()
+
+
+class TestInjectionClamping:
+    def test_past_injection_does_not_inflate_latency(self, topology,
+                                                     src_sat):
+        """ISSUE 5 regression: ``at_s`` in the simulated past is
+        clamped for *both* the first hop and ``sent_at_s``.
+
+        Before the fix the first hop was clamped to ``sim.now`` but
+        ``sent_at_s`` kept the stale request time, so the packet
+        reported ``latency_s`` inflated by however far the clock had
+        already advanced -- poisoning ``latency_stats()``.
+        """
+        sim = PacketSimulation(topology)
+        reference = sim.send(src_sat, *NEW_YORK, at_s=0.0)
+        sim.run()
+        advanced_to = sim.sim.now
+        assert advanced_to > 0.0
+
+        late = sim.send(src_sat, *NEW_YORK, at_s=0.0)
+        sim.run()
+        assert late.sent_at_s == advanced_to
+        assert late.latency_s == pytest.approx(reference.latency_s)
+
+    def test_past_injection_keeps_latency_stats_clean(self, topology,
+                                                      src_sat):
+        sim = PacketSimulation(topology)
+        first = sim.send(src_sat, *NEW_YORK)
+        sim.run()
+        sim.send(src_sat, *NEW_YORK, at_s=0.0)
+        sim.run()
+        lo, mean, hi = sim.latency_stats()
+        assert hi == pytest.approx(first.latency_s)
+        assert hi - lo < 1e-9
+
+    def test_future_injection_waits_and_counts_from_request(
+            self, topology, src_sat):
+        sim = PacketSimulation(topology)
+        record = sim.send(src_sat, *NEW_YORK, at_s=5.0)
+        sim.run()
+        assert record.sent_at_s == 5.0
+        assert record.delivered_at_s is not None
+        assert record.delivered_at_s >= 5.0

@@ -16,6 +16,10 @@ from repro.experiments.chaos_availability import (
     run_chaos_trials,
 )
 from repro.experiments.cpu import fig8_latency_sweep
+from repro.experiments.observability import (
+    chaos_observability,
+    cohort_observability,
+)
 from repro.experiments.sensitivity import (
     constellation_scaling,
     sensitivity_sweep,
@@ -67,6 +71,44 @@ class TestChaosEquivalence:
                  for t in serial_monte_carlo.trials]
         assert len(set(seeds)) == 3
         assert seeds != [5, 6, 7]
+
+
+class TestMetricsEquivalence:
+    """ISSUE 5: merged observability snapshots are bit-identical for
+    any worker count -- per-shard registries fold in trial order."""
+
+    @pytest.fixture(scope="class")
+    def serial_chaos_metrics(self):
+        return chaos_observability(n_trials=3, base_seed=5,
+                                   scenario=_SCENARIO, workers=1)
+
+    def test_chaos_snapshot_bit_identical(self, serial_chaos_metrics):
+        sharded = chaos_observability(n_trials=3, base_seed=5,
+                                      scenario=_SCENARIO, workers=2)
+        assert json.dumps(sharded["snapshot"], sort_keys=True) == \
+            json.dumps(serial_chaos_metrics["snapshot"], sort_keys=True)
+
+    def test_chaos_trace_bit_identical(self, serial_chaos_metrics):
+        sharded = chaos_observability(n_trials=3, base_seed=5,
+                                      scenario=_SCENARIO, workers=3)
+        assert json.dumps(sharded["trace"], sort_keys=True) == \
+            json.dumps(serial_chaos_metrics["trace"], sort_keys=True)
+
+    def test_chaos_snapshot_is_sum_of_trials(self, serial_chaos_metrics):
+        merged = serial_chaos_metrics["snapshot"]["counters"]
+        per_trial = [t["snapshot"]["counters"]
+                     for t in serial_chaos_metrics["per_trial"]]
+        for key, total in merged.items():
+            assert total == sum(c.get(key, 0) for c in per_trial)
+
+    def test_cohort_snapshot_bit_identical(self):
+        kwargs = dict(constellation=iridium(), n_ues=2_000,
+                      duration_s=300.0, base_seed=5, n_cohorts=8)
+        serial = cohort_observability(workers=1, **kwargs)
+        sharded = cohort_observability(workers=2, **kwargs)
+        assert json.dumps(serial["snapshot"], sort_keys=True) == \
+            json.dumps(sharded["snapshot"], sort_keys=True)
+        assert serial["per_point"] == sharded["per_point"]
 
 
 class TestSweepEquivalence:

@@ -198,3 +198,39 @@ class TestPeriodic:
         sim = Simulator()
         with pytest.raises(ValueError):
             sim.schedule_periodic(0.0, lambda: None)
+
+    def test_cancel_from_inside_callback_stops_chain(self):
+        """ISSUE 5 regression: self-cancellation must not be a no-op.
+
+        The currently-firing handle has ``fired=True`` so cancelling
+        *it* does nothing; the chain flag has to stop the re-arm or
+        the periodic runs forever.
+        """
+        sim = Simulator()
+        ticks = []
+        chain = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                chain["handle"].cancel()
+
+        chain["handle"] = sim.schedule_periodic(1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.pending() == 0
+
+    def test_cancel_inside_callback_then_outside_is_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        chain = {}
+
+        def tick():
+            ticks.append(sim.now)
+            chain["handle"].cancel()
+
+        chain["handle"] = sim.schedule_periodic(2.0, tick)
+        sim.run(until=20.0)
+        chain["handle"].cancel()
+        sim.run(until=40.0)
+        assert ticks == [2.0]
