@@ -46,7 +46,7 @@ from ..faults.chaos import ChaosController, FaultKind, FaultSchedule
 from ..faults.failures import procedure_success_probability
 from ..fiveg.messages import ProcedureKind
 from ..orbits.constellation import Constellation, starlink
-from ..runtime.parallel import run_sharded, seed_for
+from ..runtime.parallel import get_shared, run_sharded, seed_for
 from ..sim.engine import Simulator
 
 #: Four radio messages of the localized Fig. 16a exchange at LEO
@@ -389,9 +389,13 @@ def _chaos_trial(work) -> Dict:
     """One Monte Carlo shard: a fully seeded churn run, JSON payload.
 
     Module-level so worker processes can unpickle it; returns plain
-    dicts so the parent never needs live simulator objects back.
+    dicts so the parent never needs live simulator objects back.  The
+    scenario and constellation ship once per worker via the shared
+    registry, so a task pickles two integers, not a topology.
     """
-    trial, base_seed, scenario, constellation = work
+    trial, base_seed = work
+    scenario = get_shared("chaos:scenario")
+    constellation = get_shared("chaos:constellation")
     trial_scenario = replace(
         scenario, seed=seed_for(base_seed, f"chaos-trial:{trial}"))
     result = run_chaos_availability(constellation=constellation,
@@ -463,11 +467,13 @@ def run_chaos_trials(n_trials: int = 8, base_seed: int = 0,
     if n_trials < 1:
         raise ValueError("need at least one trial")
     scenario = scenario if scenario is not None else ChaosScenario()
-    work = [(trial, base_seed, scenario, constellation)
-            for trial in range(n_trials)]
-    return ChaosMonteCarlo(base_seed=base_seed,
-                           trials=run_sharded(_chaos_trial, work,
-                                              workers=workers))
+    work = [(trial, base_seed) for trial in range(n_trials)]
+    return ChaosMonteCarlo(
+        base_seed=base_seed,
+        trials=run_sharded(_chaos_trial, work, workers=workers,
+                           shared={"chaos:scenario": scenario,
+                                   "chaos:constellation": constellation},
+                           label="chaos.monte_carlo"))
 
 
 def write_monte_carlo_report(path: str, result: ChaosMonteCarlo) -> None:

@@ -25,7 +25,7 @@ from ..hardware.model import (
     cpu_breakdown,
 )
 from ..hardware.queueing import LatencyEstimate, procedure_latency
-from ..runtime.parallel import run_sharded
+from ..runtime.parallel import get_shared, run_sharded
 
 #: Fig. 7's x-axis.
 FIG7_RATES: Tuple[int, ...] = (10, 20, 30, 40, 50, 70, 100, 150, 200, 250)
@@ -38,9 +38,9 @@ _REGISTRATION_FLOW = (INITIAL_REGISTRATION_FLOW
                       + MOBILITY_REGISTRATION_FLOW)
 
 
-def _fig7_point(work) -> CpuBreakdown:
+def _fig7_point(rate) -> CpuBreakdown:
     """One registration-rate point of the Fig. 7 curve, shardable."""
-    platform, rate = work
+    platform = get_shared("fig7:platform")
     option = option4_all_functions()
     half_each = [m for m in INITIAL_REGISTRATION_FLOW] + \
         [m for m in MOBILITY_REGISTRATION_FLOW]
@@ -53,8 +53,9 @@ def fig7_cpu_breakdown(platform: HardwarePlatform,
                        workers: Optional[int] = None
                        ) -> List[CpuBreakdown]:
     """Per-NF CPU utilisation at each registration rate (Fig. 7)."""
-    return run_sharded(_fig7_point, [(platform, rate) for rate in rates],
-                       workers=workers)
+    return run_sharded(_fig7_point, list(rates), workers=workers,
+                       shared={"fig7:platform": platform},
+                       label="cpu.fig7")
 
 
 def fig7_saturation_rate(platform: HardwarePlatform,
@@ -82,7 +83,8 @@ class LatencyPoint:
 def _fig8_point(work) -> LatencyPoint:
     """One (platform, rate) latency sample, shardable."""
     from ..baselines.options import option3_session_mobility
-    platform, rate, ground_rtt_s = work
+    platform_index, rate, ground_rtt_s = work
+    platform = get_shared("fig8:platforms")[platform_index]
     option = option3_session_mobility()
     # Fig. 8a replays initial *and* mobility registrations.
     registration = procedure_latency(
@@ -104,7 +106,11 @@ def fig8_latency_sweep(ground_rtt_s: float = 0.030,
     with the home a ~30 ms round trip away.  (platform, rate) points
     shard across workers in the serial walk's order.
     """
+    platforms = tuple(PLATFORMS)
     return run_sharded(_fig8_point,
-                       [(platform, rate, ground_rtt_s)
-                        for platform in PLATFORMS for rate in rates],
-                       workers=workers)
+                       [(platform_index, rate, ground_rtt_s)
+                        for platform_index in range(len(platforms))
+                        for rate in rates],
+                       workers=workers,
+                       shared={"fig8:platforms": platforms},
+                       label="cpu.fig8")

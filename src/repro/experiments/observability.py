@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from ..obs import MetricsRegistry, Tracer, merge_snapshots
 from ..orbits.constellation import Constellation
 from ..runtime.cohort import UECohortEngine
-from ..runtime.parallel import run_sharded, seed_for
+from ..runtime.parallel import get_shared, run_sharded, seed_for
 from .chaos_availability import ChaosScenario, run_chaos_availability
 
 __all__ = [
@@ -45,7 +45,9 @@ def _observed_chaos_trial(work) -> Dict:
     snapshots are independent of sharding; the parent does the only
     cross-trial arithmetic (the merge), in trial order.
     """
-    trial, base_seed, scenario, constellation = work
+    trial, base_seed = work
+    scenario = get_shared("obs:scenario")
+    constellation = get_shared("obs:constellation")
     trial_scenario = replace(
         scenario, seed=seed_for(base_seed, f"chaos-trial:{trial}"))
     metrics = MetricsRegistry()
@@ -79,9 +81,11 @@ def chaos_observability(n_trials: int = 1, base_seed: int = 0,
     if n_trials < 1:
         raise ValueError("need at least one trial")
     scenario = scenario if scenario is not None else ChaosScenario()
-    work = [(trial, base_seed, scenario, constellation)
-            for trial in range(n_trials)]
-    shards = run_sharded(_observed_chaos_trial, work, workers=workers)
+    work = [(trial, base_seed) for trial in range(n_trials)]
+    shards = run_sharded(_observed_chaos_trial, work, workers=workers,
+                         shared={"obs:scenario": scenario,
+                                 "obs:constellation": constellation},
+                         label="obs.chaos")
     return {
         "experiment": "chaos",
         "base_seed": base_seed,
@@ -109,8 +113,9 @@ def _solution_by_name(name: str):
 
 def _observed_cohort_point(work) -> Dict:
     """One instrumented cohort design point (module-level: must pickle)."""
-    (index, solution_name, constellation, n_ues, duration_s,
-     base_seed, n_cohorts) = work
+    index, solution_name, n_ues, duration_s, base_seed, n_cohorts = work
+    del index  # kept in the work tuple for stable ordering/debugging
+    constellation = get_shared("cohort:constellation")
     metrics = MetricsRegistry()
     engine = UECohortEngine(
         constellation, n_ues=n_ues,
@@ -144,9 +149,11 @@ def cohort_observability(solutions: Optional[Sequence[str]] = None,
     if solutions is None:
         from ..baselines import ALL_SOLUTIONS
         solutions = [factory().name for factory in ALL_SOLUTIONS]
-    work = [(index, name, constellation, n_ues, duration_s, base_seed,
-             n_cohorts) for index, name in enumerate(solutions)]
-    shards = run_sharded(_observed_cohort_point, work, workers=workers)
+    work = [(index, name, n_ues, duration_s, base_seed, n_cohorts)
+            for index, name in enumerate(solutions)]
+    shards = run_sharded(_observed_cohort_point, work, workers=workers,
+                         shared={"cohort:constellation": constellation},
+                         label="obs.cohort")
     return {
         "experiment": "cohort",
         "base_seed": base_seed,

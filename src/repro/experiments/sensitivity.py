@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..baselines.solutions import fiveg_ntn, spacecore
 from ..orbits.constellation import Constellation
 from ..orbits.groundstations import default_ground_stations
-from ..runtime.parallel import run_sharded
+from ..runtime.parallel import get_shared, run_sharded
 from .signaling import signaling_load
 
 
@@ -41,8 +41,15 @@ def _reduction(constellation: Constellation, capacity: int,
 
 
 def _sensitivity_cell(work) -> SensitivityPoint:
-    """One grid cell of the perturbation sweep, shardable."""
-    parameter, value, constellation, capacity, stations, hops = work
+    """One grid cell of the perturbation sweep, shardable.
+
+    The constellation and every station-set variant ship through the
+    shared registry once per worker; the cell carries only scalars and
+    the key of the station set it perturbs.
+    """
+    parameter, value, capacity, stations_key, hops = work
+    constellation = get_shared("sensitivity:constellation")
+    stations = get_shared("sensitivity:stations")[stations_key]
     return SensitivityPoint(
         parameter, value,
         _reduction(constellation, capacity, list(stations), hops))
@@ -55,21 +62,28 @@ def sensitivity_sweep(constellation: Constellation,
     """Perturb hops, gateway count, and capacity one at a time.
 
     Each perturbation cell is independent, so the grid shards across
-    workers; cell order (and every value) matches the serial walk.
+    workers (planner permitting); cell order (and every value) matches
+    the serial walk.
     """
-    base_stations = tuple(default_ground_stations())
+    station_sets: Dict[str, Tuple] = {
+        "base": tuple(default_ground_stations()),
+    }
     cells = []
     for hops in (2.0, 5.0, 10.0, 20.0):
-        cells.append(("mean_hops", hops, constellation, base_capacity,
-                      base_stations, hops))
+        cells.append(("mean_hops", hops, base_capacity, "base", hops))
     for gateway_count in (4, 8, 16, 26):
-        stations = tuple(default_ground_stations(gateway_count))
-        cells.append(("gateways", float(gateway_count), constellation,
-                      base_capacity, stations, 5.0))
+        key = f"gateways:{gateway_count}"
+        station_sets[key] = tuple(default_ground_stations(gateway_count))
+        cells.append(("gateways", float(gateway_count), base_capacity,
+                      key, 5.0))
     for capacity in (2_000, 10_000, 20_000, 30_000):
-        cells.append(("capacity", float(capacity), constellation,
-                      capacity, base_stations, 5.0))
-    return run_sharded(_sensitivity_cell, cells, workers=workers)
+        cells.append(("capacity", float(capacity), capacity, "base",
+                      5.0))
+    return run_sharded(
+        _sensitivity_cell, cells, workers=workers,
+        shared={"sensitivity:constellation": constellation,
+                "sensitivity:stations": station_sets},
+        label="sensitivity.grid")
 
 
 def worst_case_reduction(points: Sequence[SensitivityPoint]) -> float:
@@ -105,7 +119,8 @@ def _scaling_cell(work) -> ScalingPoint:
     the worker against the shard-local memo.
     """
     from .signaling import mean_hops_to_ground
-    planes, slots, altitude_km, inclination_deg, capacity, stations = work
+    planes, slots, altitude_km, inclination_deg, capacity = work
+    stations = get_shared("scaling:stations")
     shell = Constellation("scaling", slots, planes, altitude_km,
                           inclination_deg, min_elevation_deg=32.0)
     hops = mean_hops_to_ground(shell, list(stations))
@@ -126,7 +141,8 @@ def constellation_scaling(sizes: Sequence[Tuple[int, int]] = (
     across workers; each worker builds its own shell topology once.
     """
     stations = tuple(default_ground_stations())
-    cells = [(planes, slots, altitude_km, inclination_deg, capacity,
-              stations)
+    cells = [(planes, slots, altitude_km, inclination_deg, capacity)
              for planes, slots in sizes]
-    return run_sharded(_scaling_cell, cells, workers=workers)
+    return run_sharded(_scaling_cell, cells, workers=workers,
+                       shared={"scaling:stations": stations},
+                       label="sensitivity.scaling")

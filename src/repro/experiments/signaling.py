@@ -35,7 +35,7 @@ from ..orbits.groundstations import GroundStation, default_ground_stations
 from ..orbits.propagator import IdealPropagator
 from ..runtime.cohort import DEFAULT_COHORTS, CohortStats, UECohortEngine
 from ..runtime.memo import shard_memoized
-from ..runtime.parallel import run_sharded
+from ..runtime.parallel import get_shared, run_sharded
 from ..topology.grid import GridTopology
 
 #: Fraction of satellites over populated land at any instant; ocean
@@ -195,11 +195,17 @@ def signaling_load(solution: Solution, constellation: Constellation,
 def _sweep_point(work) -> SignalingLoad:
     """One (solution, constellation, capacity) design point, shardable.
 
-    The worker-side hop count comes from the shard-local memo, so a
-    worker that sees several capacities of one constellation runs the
-    Dijkstra once -- same arithmetic, same floats, as the serial loop.
+    The constellations, solution specs, and station set ship through
+    the shared registry (once per worker, not once per task); the work
+    item is just three small indices.  The worker-side hop count comes
+    from the shard-local memo, so a worker that sees several capacities
+    of one constellation runs the Dijkstra once -- same arithmetic,
+    same floats, as the serial loop.
     """
-    item, constellation, capacity, stations = work
+    constellation_index, solution_index, capacity = work
+    constellation = get_shared("sweep:constellations")[constellation_index]
+    item = get_shared("sweep:solutions")[solution_index]
+    stations = get_shared("sweep:stations")
     solution = item() if callable(item) else item
     hops = mean_hops_to_ground(constellation, stations)
     return signaling_load(solution, constellation, capacity,
@@ -214,7 +220,9 @@ def sweep(solutions: Iterable, constellations: Iterable[Constellation],
 
     ``solutions`` takes factories or instances.  With ``workers > 1``
     (or ``REPRO_WORKERS`` set) the design points fan out across a
-    process pool; results come back in the same nested
+    process pool under the execution planner -- batched into chunks,
+    or folded back to the serial path when the grid is below
+    break-even; results come back in the same nested
     (constellation, solution, capacity) order as the serial walk, with
     bit-identical values.  Parallel runs need picklable solution specs
     (module-level factories or instances, not lambdas).
@@ -222,11 +230,17 @@ def sweep(solutions: Iterable, constellations: Iterable[Constellation],
     stations = (tuple(stations) if stations is not None
                 else tuple(default_ground_stations()))
     solutions = list(solutions)
-    points = [(item, constellation, capacity, stations)
-              for constellation in constellations
-              for item in solutions
+    constellations = list(constellations)
+    points = [(constellation_index, solution_index, capacity)
+              for constellation_index in range(len(constellations))
+              for solution_index in range(len(solutions))
               for capacity in capacities]
-    return run_sharded(_sweep_point, points, workers=workers)
+    return run_sharded(
+        _sweep_point, points, workers=workers,
+        shared={"sweep:constellations": constellations,
+                "sweep:solutions": solutions,
+                "sweep:stations": stations},
+        label="signaling.sweep")
 
 
 def cohort_load_point(solution, constellation: Constellation,

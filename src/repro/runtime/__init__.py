@@ -8,9 +8,15 @@ core control plane: signaling scale comes from sharding independent
 work units across workers.  This package is that spine:
 
 * :mod:`.parallel` -- a :class:`concurrent.futures.ProcessPoolExecutor`
-  fan-out with deterministic per-shard seed derivation and a serial
-  fallback (``REPRO_WORKERS=1``) that is bit-identical to the
-  pre-runtime per-loop code;
+  fan-out with deterministic per-shard seed derivation, a warm
+  cross-call worker pool, batched shard dispatch, an
+  initializer-installed shared-object registry, and a serial fallback
+  (``REPRO_WORKERS=1``) that is bit-identical to the pre-runtime
+  per-loop code;
+* :mod:`.planner` -- the cost-aware execution policy: calibrated
+  dispatch overhead, per-label cost priors, batch sizing, and a
+  break-even auto-fallback to serial, with every decision logged and
+  mirrored into a mergeable metrics registry;
 * :mod:`.memo` -- shard-local memoization of expensive pure inputs
   (mean ISL hops to a gateway, dwell times) so workers never recompute
   topology per design point;
@@ -29,22 +35,46 @@ from .memo import (
 )
 from .parallel import (
     WORKERS_ENV_VAR,
+    get_shared,
+    pools_created,
     resolve_workers,
     run_sharded,
     seed_for,
+    shutdown_worker_pools,
+    warm_pool_info,
+)
+from .planner import (
+    PLANNER_ENV_VAR,
+    ExecutionPlan,
+    plan_execution,
+    planner_calibration,
+    planner_decisions,
+    planner_metrics_snapshot,
+    reset_planner,
 )
 
 __all__ = [
     "CohortStats",
+    "ExecutionPlan",
     "MEMO_DECORATOR_NAMES",
+    "PLANNER_ENV_VAR",
     "UECohortEngine",
     "WORKERS_ENV_VAR",
     "cached_dwell_time_s",
     "clear_shard_caches",
+    "get_shared",
     "memo_metadata",
     "memoized_functions",
+    "plan_execution",
+    "planner_calibration",
+    "planner_decisions",
+    "planner_metrics_snapshot",
+    "pools_created",
+    "reset_planner",
     "resolve_workers",
     "run_sharded",
     "seed_for",
     "shard_memoized",
+    "shutdown_worker_pools",
+    "warm_pool_info",
 ]

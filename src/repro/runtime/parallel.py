@@ -17,14 +17,49 @@ Two rules make that hold:
 * **Results are ordered by shard index.**  ``run_sharded`` returns
   ``[fn(items[0]), fn(items[1]), ...]`` regardless of which worker
   finished first.
+
+Since the execution-planner rework, three mechanisms keep the pool
+path from losing to serial on small work units (the policy deciding
+when to use them lives in :mod:`.planner`):
+
+* **Shard batching** -- many shards ship as one pool task
+  (``_run_batch``), with results unpacked back to per-shard index
+  order, so per-task dispatch overhead amortizes across a
+  planner-chosen chunk instead of dominating every tiny shard.
+* **Warm pool reuse** -- one module-level ``ProcessPoolExecutor``
+  persists across ``run_sharded`` calls (same worker count, same
+  shared objects), so a sweep of sweeps pays pool startup once.
+  ``shutdown_worker_pools()`` is the explicit teardown hook; an
+  ``atexit`` hook covers interpreter exit.
+* **Zero-copy shared shipping** -- large common inputs (constellation
+  snapshots, station lists, scenarios) register once per pool via the
+  worker initializer (and ride fork inheritance for free on fork
+  platforms) instead of being pickled into every task; workers fetch
+  them back with :func:`get_shared`.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Iterable, List, Optional, TypeVar
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from . import planner
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -33,9 +68,12 @@ R = TypeVar("R")
 #: keeps every experiment on the serial in-process path.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
-#: Cap queued-but-unsubmitted shards so huge grids don't pickle the
+#: Cap queued-but-unsubmitted tasks so huge grids don't pickle the
 #: whole work list into the executor at once.
 _MAX_INFLIGHT_PER_WORKER = 4
+
+#: No-op round trips used to measure per-task dispatch overhead.
+_CALIBRATION_TASKS = 16
 
 
 def seed_for(base_seed: int, shard_id: Any) -> int:
@@ -60,46 +98,300 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
-def _serial_child() -> None:
-    """Pool initializer: workers never fan out again themselves.
+# ---------------------------------------------------------------------------
+# Shared-object registry (zero-copy snapshot shipping)
+# ---------------------------------------------------------------------------
+
+#: Scoped parent-side registry: ``run_sharded(shared=...)`` pushes its
+#: entries for the duration of the call (restoring outer entries on
+#: exit, so nested serial fan-outs compose).
+_PARENT_SHARED: Dict[str, Any] = {}
+
+#: Worker-side registry, installed once per worker by the pool
+#: initializer -- the only time a shared object crosses the process
+#: boundary, however many tasks the worker then executes.
+_WORKER_SHARED: Dict[str, Any] = {}
+
+_MISSING = object()
+
+
+def get_shared(key: str) -> Any:
+    """Fetch a shared object registered via ``run_sharded(shared=...)``.
+
+    Resolution order: the current call's scoped registry (parent and
+    serial paths, plus nested fan-outs inside a worker), then the
+    worker-wide registry the pool initializer installed.
+    """
+    if key in _PARENT_SHARED:
+        return _PARENT_SHARED[key]
+    try:
+        return _WORKER_SHARED[key]
+    except KeyError:
+        raise KeyError(
+            f"no shared object {key!r}; pass it via "
+            f"run_sharded(shared={{...}})") from None
+
+
+@contextmanager
+def _shared_scope(shared: Dict[str, Any]) -> Iterator[None]:
+    """Install ``shared`` for the duration of one ``run_sharded`` call."""
+    saved = {key: _PARENT_SHARED.get(key, _MISSING) for key in shared}
+    _PARENT_SHARED.update(shared)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is _MISSING:
+                _PARENT_SHARED.pop(key, None)
+            else:
+                _PARENT_SHARED[key] = value
+
+
+# ---------------------------------------------------------------------------
+# Warm worker pool
+# ---------------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_SHARED: Dict[str, Any] = {}
+_POOLS_CREATED = 0
+
+
+def _noop() -> None:
+    """Calibration/warmup payload: measures pure dispatch overhead."""
+    return None
+
+
+def _init_worker(shared: Dict[str, Any]) -> None:
+    """Pool initializer: serial-only children plus the shared registry.
 
     A shard that internally calls another ``run_sharded`` (e.g. a
     chaos trial whose scenario sweeps a grid) must not multiply the
     worker count; inside a worker the serial fallback is the sharding.
+    The fork-inherited parent scope is cleared so stale objects from
+    pool-creation time can never shadow a later call's registry.
     """
     os.environ[WORKERS_ENV_VAR] = "1"
+    _PARENT_SHARED.clear()
+    _WORKER_SHARED.clear()
+    _WORKER_SHARED.update(shared)
+
+
+def _values_equiv(a: Any, b: Any) -> bool:
+    """Identity equivalence, one container level deep.
+
+    Callers rebuild wrapper lists per call (``list(constellations)``)
+    around the same big payload objects; element-wise identity lets the
+    warm pool survive that without deep-comparing snapshots.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(x is y for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return (a.keys() == b.keys()
+                and all(a[k] is b[k] for k in a))
+    return False
+
+
+def _shared_equiv(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    return (a.keys() == b.keys()
+            and all(_values_equiv(a[k], b[k]) for k in a))
+
+
+def warm_pool_info() -> Optional[Dict[str, Any]]:
+    """The live warm pool's (workers, shared keys), or None."""
+    if _POOL is None:
+        return None
+    return {"workers": _POOL_WORKERS,
+            "shared_keys": sorted(_POOL_SHARED)}
+
+
+def pools_created() -> int:
+    """How many pools this process has created (warm hits don't count)."""
+    return _POOLS_CREATED
+
+
+def pool_is_warm(workers: int) -> bool:
+    """Whether the warm pool already matches (workers, current shared)."""
+    return (_POOL is not None and _POOL_WORKERS == workers
+            and _shared_equiv(_POOL_SHARED, _PARENT_SHARED))
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down the warm pool (tests, benchmarks, interpreter exit)."""
+    global _POOL, _POOL_WORKERS, _POOL_SHARED
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+    _POOL_SHARED = {}
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def _acquire_pool(workers: int) -> ProcessPoolExecutor:
+    """The warm pool if it matches, else a fresh calibrated one."""
+    global _POOL, _POOL_WORKERS, _POOL_SHARED, _POOLS_CREATED
+    if pool_is_warm(workers):
+        assert _POOL is not None
+        return _POOL
+    shutdown_worker_pools()
+    shared = dict(_PARENT_SHARED)
+    start = time.perf_counter()  # repro: ignore[wallclock-time] -- pool startup calibration; never enters artifacts
+    pool = ProcessPoolExecutor(max_workers=workers,
+                               initializer=_init_worker,
+                               initargs=(shared,))
+    for future in [pool.submit(_noop) for _ in range(workers)]:
+        future.result()
+    startup_s = time.perf_counter() - start  # repro: ignore[wallclock-time] -- pool startup calibration; never enters artifacts
+    _POOL = pool
+    _POOL_WORKERS = workers
+    _POOL_SHARED = shared
+    _POOLS_CREATED += 1
+    planner.record_pool_startup(startup_s)
+    planner.note_pool_created()
+    if not planner.is_calibrated():
+        start = time.perf_counter()  # repro: ignore[wallclock-time] -- one-time dispatch-overhead calibration
+        for future in [pool.submit(_noop)
+                       for _ in range(_CALIBRATION_TASKS)]:
+            future.result()
+        elapsed = time.perf_counter() - start  # repro: ignore[wallclock-time] -- one-time dispatch-overhead calibration
+        planner.record_task_overhead(elapsed / _CALIBRATION_TASKS)
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# Execution paths
+# ---------------------------------------------------------------------------
+
+def _run_batch(payload: Tuple[Callable[[Any], Any], List[Any]]
+               ) -> List[Any]:
+    """One pool task: a planner-chosen chunk of consecutive shards."""
+    fn, batch = payload
+    return [fn(item) for item in batch]
+
+
+def _run_serial(fn: Callable[[T], R], items: List[T],
+                results: List[Any], start: int, label: str) -> None:
+    """In-process tail of a fan-out, feeding the label's cost prior."""
+    count = len(items) - start
+    if count <= 0:
+        return
+    t0 = time.perf_counter()  # repro: ignore[wallclock-time] -- planner cost prior; never enters artifacts
+    for index in range(start, len(items)):
+        results[index] = fn(items[index])
+    elapsed = time.perf_counter() - t0  # repro: ignore[wallclock-time] -- planner cost prior; never enters artifacts
+    planner.update_cost_prior(label, elapsed / count, source="serial")
+
+
+def _dispatch_batches(pool: ProcessPoolExecutor, fn: Callable[[T], R],
+                      items: List[T], start: int, chunk: int,
+                      results: List[Any], workers: int) -> None:
+    """Submit chunked tasks with a bounded in-flight window."""
+    max_inflight = workers * _MAX_INFLIGHT_PER_WORKER
+    inflight: Dict[Future, Tuple[int, int]] = {}
+    for lo in range(start, len(items), chunk):
+        batch = items[lo:lo + chunk]
+        inflight[pool.submit(_run_batch, (fn, batch))] = (lo, len(batch))
+        if len(inflight) >= max_inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                lo_done, length = inflight.pop(future)
+                results[lo_done:lo_done + length] = future.result()
+    for future, (lo_done, length) in inflight.items():
+        results[lo_done:lo_done + length] = future.result()
+
+
+def _fan_out_label(fn: Callable, label: Optional[str]) -> str:
+    if label is not None:
+        return label
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{qualname}"
 
 
 def run_sharded(fn: Callable[[T], R], items: Iterable[T], *,
-                workers: Optional[int] = None) -> List[R]:
-    """Map ``fn`` over ``items``, sharded across worker processes.
+                workers: Optional[int] = None,
+                shared: Optional[Dict[str, Any]] = None,
+                label: Optional[str] = None) -> List[R]:
+    """Map ``fn`` over ``items``, planner-sharded across processes.
 
     ``fn`` must be a picklable top-level callable and each item must be
     picklable.  With one worker (the default unless ``REPRO_WORKERS``
-    or ``workers`` says otherwise) this is a plain in-process loop --
+    or ``workers`` says otherwise), a single item, or a grid the
+    planner judges below break-even, this is a plain in-process loop --
     no pool, no pickling -- which is the bit-identical serial fallback.
     Results always come back in item order.
+
+    ``shared`` registers large common inputs once per pool (fetched in
+    ``fn`` via :func:`get_shared`) instead of pickling them into every
+    task; ``label`` names the fan-out in the planner's decision log and
+    keys its learned cost prior.
     """
     workers = resolve_workers(workers)
     items = list(items)
-    if workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-
-    workers = min(workers, len(items))
-    results: List[Any] = [None] * len(items)
-    max_inflight = workers * _MAX_INFLIGHT_PER_WORKER
-    with ProcessPoolExecutor(max_workers=workers,
-                             initializer=_serial_child) as pool:
-        inflight = {}
-        for index, item in enumerate(items):
-            inflight[pool.submit(fn, item)] = index
-            if len(inflight) >= max_inflight:
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    results[inflight.pop(future)] = future.result()
-        for future, index in inflight.items():
-            results[index] = future.result()
-    return results
+    n = len(items)
+    fan_label = _fan_out_label(fn, label)
+    with _shared_scope(dict(shared) if shared else {}):
+        if n == 0:
+            return []
+        results: List[Any] = [None] * n
+        if workers == 1 or n == 1:
+            # Short-circuit before any pool work: singletons and the
+            # serial contract never pay startup or pickling.
+            _run_serial(fn, items, results, 0, fan_label)
+            return results
+        force = planner.forced_mode()
+        if force == "serial":
+            planner.record_decision(
+                planner.trivial_plan("serial", "forced-serial", n,
+                                     workers), fan_label)
+            _run_serial(fn, items, results, 0, fan_label)
+            return results
+        est = planner.cost_prior(fan_label)
+        probed = 0
+        if force != "sharded" and est is None:
+            # First-ever fan-out for this label: probe one item
+            # in-process to seed the cost model.  The result is kept
+            # (fn is pure per item), so the probe costs nothing extra.
+            t0 = time.perf_counter()  # repro: ignore[wallclock-time] -- planner cost probe; never enters artifacts
+            results[0] = fn(items[0])
+            est = time.perf_counter() - t0  # repro: ignore[wallclock-time] -- planner cost probe; never enters artifacts
+            probed = 1
+            planner.note_probe(fan_label)
+            planner.update_cost_prior(fan_label, est, source="probe")
+        plan = planner.plan_execution(
+            n_items=n, workers=workers, est_item_cost_s=est,
+            remaining=n - probed, pool_is_warm=pool_is_warm(workers),
+            force=force)
+        planner.record_decision(plan, fan_label)
+        if plan.mode == "serial":
+            _run_serial(fn, items, results, probed, fan_label)
+            return results
+        pool = _acquire_pool(workers)
+        t0 = time.perf_counter()  # repro: ignore[wallclock-time] -- planner cost prior; never enters artifacts
+        try:
+            _dispatch_batches(pool, fn, items, probed, plan.chunk_size,
+                              results, workers)
+        except BrokenProcessPool:
+            # A worker died (OOM-killed, signalled).  Recycle the pool
+            # once and recompute the whole sharded region -- results
+            # are pure per item, so overwriting is harmless.
+            shutdown_worker_pools()
+            pool = _acquire_pool(workers)
+            _dispatch_batches(pool, fn, items, probed, plan.chunk_size,
+                              results, workers)
+        wall = time.perf_counter() - t0  # repro: ignore[wallclock-time] -- planner cost prior; never enters artifacts
+        effective = max(1, min(workers, plan.n_tasks,
+                               planner.usable_cores()))
+        planner.update_cost_prior(fan_label,
+                                  wall * effective / (n - probed),
+                                  source="sharded")
+        return results
 
 
 def shard_seeds(base_seed: int, n_shards: int) -> List[int]:

@@ -4,9 +4,18 @@ The acceptance property of the parallel runtime: for the same base
 seed, every experiment artifact is bit-for-bit identical whether it
 ran serially (``workers=1``, today's behaviour) or sharded across any
 number of worker processes, in any shard completion order.
+
+Every ``workers > 1`` call here runs under ``REPRO_PLANNER=sharded``
+(module-wide fixture below): the auto planner would correctly judge
+these deliberately small workloads below break-even and fold them back
+to the in-process path, which would leave the pool machinery -- the
+thing this file exists to check -- untested.  Forcing the medium is
+safe precisely because of the property under test: the planner may
+only ever change *where* shards run, never what they produce.
 """
 
 import json
+import os
 
 import pytest
 
@@ -26,11 +35,27 @@ from repro.experiments.sensitivity import (
 )
 from repro.experiments.signaling import sweep
 from repro.orbits import iridium, oneweb
+from repro.runtime import PLANNER_ENV_VAR, shutdown_worker_pools
 
 #: Small but non-trivial chaos scenario so a 3-trial Monte Carlo stays
 #: test-suite friendly while still injecting dozens of faults.
 _SCENARIO = ChaosScenario(horizon_s=600.0, n_ues=6,
                           jam_start_s=120.0, jam_stop_s=300.0)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _force_pool_path():
+    """Pin the pool medium for the whole module; tear the pool down."""
+    previous = os.environ.get(PLANNER_ENV_VAR)
+    os.environ[PLANNER_ENV_VAR] = "sharded"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(PLANNER_ENV_VAR, None)
+        else:
+            os.environ[PLANNER_ENV_VAR] = previous
+        shutdown_worker_pools()
 
 
 @pytest.fixture(scope="module")
@@ -132,3 +157,22 @@ class TestSweepEquivalence:
         serial = fig8_latency_sweep(rates=(10, 100, 300))
         assert fig8_latency_sweep(rates=(10, 100, 300),
                                   workers=2) == serial
+
+
+class TestPlannerAutoEquivalence:
+    """With no forced mode the planner picks the medium itself; the
+    artifact must not depend on which way the break-even call went."""
+
+    def test_auto_mode_matches_serial(self, monkeypatch):
+        monkeypatch.delenv(PLANNER_ENV_VAR, raising=False)
+        constellations = [iridium(), oneweb()]
+        serial = sweep(ALL_SOLUTIONS, constellations, workers=1)
+        assert sweep(ALL_SOLUTIONS, constellations, workers=2) == serial
+
+    def test_auto_mode_chaos_matches_serial(self, monkeypatch):
+        monkeypatch.delenv(PLANNER_ENV_VAR, raising=False)
+        serial = run_chaos_trials(n_trials=2, base_seed=5,
+                                  scenario=_SCENARIO, workers=1)
+        sharded = run_chaos_trials(n_trials=2, base_seed=5,
+                                   scenario=_SCENARIO, workers=2)
+        assert sharded.to_json() == serial.to_json()

@@ -5,12 +5,14 @@ import os
 import pytest
 
 from repro.runtime import (
+    PLANNER_ENV_VAR,
     WORKERS_ENV_VAR,
     clear_shard_caches,
     resolve_workers,
     run_sharded,
     seed_for,
     shard_memoized,
+    shutdown_worker_pools,
 )
 from repro.runtime.parallel import shard_seeds
 
@@ -81,9 +83,18 @@ class TestRunSharded:
     def test_single_item_stays_in_process(self):
         assert run_sharded(_square, [6], workers=4) == [36]
 
-    def test_workers_never_nest(self):
-        """Pool children see REPRO_WORKERS=1, so shards cannot fan out."""
-        values = run_sharded(_worker_env, range(4), workers=2)
+    def test_workers_never_nest(self, monkeypatch):
+        """Pool children see REPRO_WORKERS=1, so shards cannot fan out.
+
+        ``REPRO_PLANNER=sharded`` pins the pool path: the auto planner
+        would (correctly) judge this trivial workload below break-even
+        and run it in-process, where the env var is the parent's.
+        """
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        try:
+            values = run_sharded(_worker_env, range(4), workers=2)
+        finally:
+            shutdown_worker_pools()
         assert values == ["1"] * 4
 
 

@@ -1,0 +1,322 @@
+"""Tests for the cost-aware execution planner and its pool mechanisms.
+
+Unit tests pin the planning math (batch sizing, break-even fallback,
+forced modes, cost priors); integration tests drive ``run_sharded``
+through real pools and check the mechanisms the plan selects: batching
+that preserves per-shard order and seed derivation, warm-pool reuse
+across calls, shared-registry shipping, and the no-pool short-circuits.
+"""
+
+import math
+
+import pytest
+
+from repro.runtime import (
+    PLANNER_ENV_VAR,
+    ExecutionPlan,
+    get_shared,
+    plan_execution,
+    planner_calibration,
+    planner_decisions,
+    pools_created,
+    reset_planner,
+    run_sharded,
+    seed_for,
+    shutdown_worker_pools,
+    warm_pool_info,
+)
+from repro.runtime.planner import (
+    DEFAULT_POOL_STARTUP_S,
+    DEFAULT_TASK_OVERHEAD_S,
+    FORCED_TASKS_PER_WORKER,
+    MIN_TASK_SPAN_S,
+    cost_prior,
+    cost_priors,
+    forced_mode,
+    update_cost_prior,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_planner():
+    """Each test starts from process-start planner state, no warm pool."""
+    reset_planner()
+    shutdown_worker_pools()
+    yield
+    reset_planner()
+    shutdown_worker_pools()
+
+
+def _seeded(work):
+    index, base_seed = work
+    return seed_for(base_seed, f"shard:{index}")
+
+
+def _double(x):
+    return 2 * x
+
+
+def _shared_sum(x):
+    return x + get_shared("test:offset")
+
+
+# ---------------------------------------------------------------------------
+# Planning math
+# ---------------------------------------------------------------------------
+
+class TestChunkSizing:
+    def test_chunk_never_exceeds_item_count(self):
+        plan = plan_execution(n_items=3, workers=8, est_item_cost_s=1e-6,
+                              cores=8)
+        assert 1 <= plan.chunk_size <= 3
+
+    def test_chunk_spreads_across_all_workers(self):
+        """Cheap 80-item grid: batching must still use every worker."""
+        plan = plan_execution(n_items=80, workers=4, est_item_cost_s=1e-4,
+                              cores=4)
+        assert plan.chunk_size <= math.ceil(80 / 4)
+        assert plan.n_tasks >= 4
+
+    def test_expensive_items_get_singleton_chunks(self):
+        plan = plan_execution(n_items=8, workers=4, est_item_cost_s=1.0,
+                              cores=4)
+        assert plan.chunk_size == 1
+        assert plan.n_tasks == 8
+
+    def test_chunk_targets_min_task_span(self):
+        est = 1e-4
+        plan = plan_execution(n_items=1000, workers=4,
+                              est_item_cost_s=est, cores=4)
+        target = max(MIN_TASK_SPAN_S,
+                     10.0 * plan.overhead_per_task_s)
+        assert plan.chunk_size == math.ceil(target / est)
+
+    def test_forced_sharded_without_estimate_balances(self):
+        plan = plan_execution(n_items=30, workers=3, est_item_cost_s=None,
+                              force="sharded", cores=1)
+        assert plan.mode == "sharded"
+        assert plan.reason == "forced-sharded"
+        assert plan.chunk_size == math.ceil(
+            30 / (3 * FORCED_TASKS_PER_WORKER))
+
+
+class TestBreakEven:
+    def test_expensive_grid_shards(self):
+        plan = plan_execution(n_items=8, workers=4, est_item_cost_s=1.0,
+                              cores=4)
+        assert plan.mode == "sharded"
+        assert plan.reason == "parallel-wins"
+        assert plan.serial_est_s == pytest.approx(8.0)
+
+    def test_cheap_grid_falls_back_to_serial(self):
+        plan = plan_execution(n_items=80, workers=4, est_item_cost_s=1e-4,
+                              cores=4)
+        assert plan.mode == "serial"
+        assert plan.reason == "below-break-even"
+
+    def test_single_core_always_serial(self):
+        plan = plan_execution(n_items=8, workers=4, est_item_cost_s=10.0,
+                              cores=1)
+        assert plan.mode == "serial"
+        assert plan.reason == "single-core"
+
+    def test_warm_pool_drops_startup_from_projection(self):
+        cold = plan_execution(n_items=80, workers=4, est_item_cost_s=1e-3,
+                              cores=4, pool_is_warm=False)
+        warm = plan_execution(n_items=80, workers=4, est_item_cost_s=1e-3,
+                              cores=4, pool_is_warm=True)
+        assert cold.pool_startup_s == DEFAULT_POOL_STARTUP_S
+        assert warm.pool_startup_s == 0.0
+        assert warm.parallel_est_s < cold.parallel_est_s
+
+    def test_default_overhead_before_calibration(self):
+        plan = plan_execution(n_items=8, workers=2, est_item_cost_s=1.0,
+                              cores=2)
+        assert plan.overhead_per_task_s == DEFAULT_TASK_OVERHEAD_S
+        assert planner_calibration() == {}
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            plan_execution(n_items=1, workers=2, est_item_cost_s=1.0)
+        with pytest.raises(ValueError):
+            plan_execution(n_items=4, workers=1, est_item_cost_s=1.0)
+        with pytest.raises(ValueError):
+            plan_execution(n_items=4, workers=2, est_item_cost_s=1.0,
+                           remaining=5)
+        with pytest.raises(ValueError):
+            plan_execution(n_items=4, workers=2, est_item_cost_s=None)
+
+    def test_plan_is_frozen(self):
+        plan = plan_execution(n_items=4, workers=2, est_item_cost_s=1.0,
+                              cores=2)
+        assert isinstance(plan, ExecutionPlan)
+        with pytest.raises(AttributeError):
+            plan.mode = "sharded"
+
+
+class TestForcedMode:
+    def test_unset_is_auto(self, monkeypatch):
+        monkeypatch.delenv(PLANNER_ENV_VAR, raising=False)
+        assert forced_mode() is None
+
+    def test_auto_is_none(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "auto")
+        assert forced_mode() is None
+
+    def test_serial_and_sharded(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "serial")
+        assert forced_mode() == "serial"
+        monkeypatch.setenv(PLANNER_ENV_VAR, " Sharded ")
+        assert forced_mode() == "sharded"
+
+    def test_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "turbo")
+        with pytest.raises(ValueError):
+            forced_mode()
+
+
+class TestCostPriors:
+    def test_unknown_label_has_no_prior(self):
+        assert cost_prior("never-seen") is None
+
+    def test_first_sample_sets_prior(self):
+        update_cost_prior("lbl", 1.0, source="serial")
+        assert cost_prior("lbl") == 1.0
+
+    def test_ema_folds_new_samples(self):
+        update_cost_prior("lbl", 1.0)
+        update_cost_prior("lbl", 2.0)
+        assert cost_prior("lbl") == pytest.approx(1.5)
+        entry = cost_priors()["lbl"]
+        assert entry["samples"] == 2
+
+    def test_negative_samples_ignored(self):
+        update_cost_prior("lbl", 1.0)
+        update_cost_prior("lbl", -5.0)
+        assert cost_prior("lbl") == 1.0
+
+    def test_reset_clears_priors(self):
+        update_cost_prior("lbl", 1.0)
+        reset_planner()
+        assert cost_prior("lbl") is None
+
+
+# ---------------------------------------------------------------------------
+# run_sharded integration
+# ---------------------------------------------------------------------------
+
+class TestPoolIntegration:
+    def test_batched_order_and_seed_derivation(self, monkeypatch):
+        """Chunked pool dispatch returns serial's exact seed sequence."""
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        work = [(index, 7) for index in range(30)]
+        serial = [_seeded(item) for item in work]
+        assert run_sharded(_seeded, work, workers=3) == serial
+
+    def test_warm_pool_survives_consecutive_calls(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        before = pools_created()
+        run_sharded(_double, range(8), workers=2)
+        run_sharded(_double, range(8), workers=2)
+        assert pools_created() == before + 1
+        assert warm_pool_info() == {"workers": 2, "shared_keys": []}
+
+    def test_shutdown_tears_down_cleanly(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        run_sharded(_double, range(4), workers=2)
+        assert warm_pool_info() is not None
+        shutdown_worker_pools()
+        assert warm_pool_info() is None
+        # And the next call simply builds a fresh pool.
+        assert run_sharded(_double, range(4), workers=2) == \
+            [0, 2, 4, 6]
+
+    def test_worker_count_change_recycles_pool(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        before = pools_created()
+        run_sharded(_double, range(8), workers=2)
+        run_sharded(_double, range(8), workers=3)
+        assert pools_created() == before + 2
+
+    def test_shared_objects_reach_workers(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        values = run_sharded(_shared_sum, range(6), workers=2,
+                             shared={"test:offset": 100})
+        assert values == [100, 101, 102, 103, 104, 105]
+
+    def test_shared_change_recycles_pool(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        before = pools_created()
+        run_sharded(_shared_sum, range(4), workers=2,
+                    shared={"test:offset": 1})
+        run_sharded(_shared_sum, range(4), workers=2,
+                    shared={"test:offset": 2})
+        assert pools_created() == before + 2
+
+    def test_same_shared_objects_keep_pool_warm(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        offset = 10
+        before = pools_created()
+        first = run_sharded(_shared_sum, range(4), workers=2,
+                            shared={"test:offset": offset})
+        second = run_sharded(_shared_sum, range(4), workers=2,
+                             shared={"test:offset": offset})
+        assert first == second == [10, 11, 12, 13]
+        assert pools_created() == before + 1
+
+    def test_shared_available_on_serial_path(self):
+        values = run_sharded(_shared_sum, range(3), workers=1,
+                             shared={"test:offset": 5})
+        assert values == [5, 6, 7]
+
+    def test_shared_scope_is_popped_after_call(self):
+        run_sharded(_shared_sum, range(3), workers=1,
+                    shared={"test:offset": 5})
+        with pytest.raises(KeyError):
+            get_shared("test:offset")
+
+    def test_no_pool_for_trivial_inputs_even_forced(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        before = pools_created()
+        assert run_sharded(_double, [], workers=4) == []
+        assert run_sharded(_double, [21], workers=4) == [42]
+        assert pools_created() == before
+
+    def test_auto_mode_routes_cheap_grid_serial(self, monkeypatch):
+        """A trivial fan-out must never pay for a pool in auto mode."""
+        monkeypatch.delenv(PLANNER_ENV_VAR, raising=False)
+        before = pools_created()
+        assert run_sharded(_double, range(16), workers=4,
+                           label="planner-test.cheap") == \
+            [2 * x for x in range(16)]
+        assert pools_created() == before
+        decision = planner_decisions()[-1]
+        assert decision["label"] == "planner-test.cheap"
+        assert decision["mode"] == "serial"
+        assert decision["reason"] in ("below-break-even", "single-core")
+
+    def test_forced_serial_never_pools(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "serial")
+        before = pools_created()
+        run_sharded(_double, range(16), workers=4, label="forced-serial")
+        assert pools_created() == before
+        decision = planner_decisions()[-1]
+        assert decision["reason"] == "forced-serial"
+
+    def test_decision_log_records_forced_pool_runs(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        run_sharded(_double, range(8), workers=2, label="forced-pool")
+        decision = planner_decisions()[-1]
+        assert decision["label"] == "forced-pool"
+        assert decision["mode"] == "sharded"
+        assert decision["reason"] == "forced-sharded"
+        assert decision["n_tasks"] >= 1
+        # A real pool ran, so calibration now holds measured numbers.
+        calibration = planner_calibration()
+        assert calibration["task_overhead_s"] > 0
+        assert calibration["pool_startup_s"] > 0
+
+    def test_serial_runs_seed_cost_priors(self):
+        run_sharded(_double, range(8), workers=1, label="prior-seeding")
+        prior = cost_prior("prior-seeding")
+        assert prior is not None and prior >= 0
