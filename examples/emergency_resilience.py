@@ -3,104 +3,92 @@
 
 S2.2(4) + S3.3: when terrestrial infrastructure is destroyed and the
 space segment itself is degraded (radiation failures, jammed links,
-hijacked satellites), can users still communicate?
+downed gateways, hijacked satellites), can users still communicate?
 
-This example stress-tests SpaceCore over Starlink:
-
-1. kill a batch of satellites (the ~1-in-40 Starlink failure rate,
-   Fig. 13a) and some ISLs (laser misalignment), then show Algorithm 1
-   still delivers traffic by deflecting around the holes;
-2. quantify procedure survival under bursty link loss
-   (Gilbert-Elliott, Fig. 13b): 4-message local flows vs 18-message
-   home-routed flows;
-3. hijack a serving satellite and show the blast radius: what leaks,
-   and how epoch revocation stops the bleeding.
+This example runs the drill on the **declarative scenario layer**
+(:mod:`repro.scenarios`): an ad-hoc emergency ScenarioSpec composes
+decay churn, a regional jammer, and a gateway blackout over one city,
+executes seeded trials on the sharded runtime, and holds the outcome
+to an SLO budget -- the same harness the committed catalog
+(``repro scenario list``) gates CI with.  The hijack blast-radius
+drill then shows what a compromised satellite leaks and how epoch
+revocation stops the bleeding.
 
 Run:  python examples/emergency_resilience.py
 """
 
-import math
-import random
-
 from repro.core import FallbackRequired, SpaceCoreSystem
-from repro.faults import (
-    GilbertElliottChannel,
-    procedure_success_probability,
-)
-from repro.fiveg.messages import ProcedureKind
-from repro.baselines import fiveg_ntn, spacecore
 from repro.orbits import starlink
+from repro.scenarios import (
+    ChaosSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    SLOBudget,
+    run_scenario,
+)
 
-BEIJING = (math.radians(39.9), math.radians(116.4))
+#: The disaster zone: one metropolitan cluster whose terrestrial
+#: infrastructure just went dark.
+DISASTER_SITES = ((39.9, 116.4), (40.2, 116.9), (39.5, 115.9))
+
+
+def emergency_spec() -> ScenarioSpec:
+    """A compact emergency: churn + jamming + gateway blackout."""
+    return ScenarioSpec(
+        name="emergency-drill",
+        title="Disaster-zone communications drill",
+        description=(
+            "Decay churn kills serving satellites while a jammer opens "
+            "over the disaster zone and the nearest gateways go dark; "
+            "sessions must survive on local, stateless recovery."),
+        horizon_s=900.0,
+        population=PopulationSpec(n_ues=9, sites=DISASTER_SITES,
+                                  jitter_deg=1.0),
+        chaos=ChaosSpec(decay_acceleration=5.0e5,
+                        repair_delay_s=600.0,
+                        jam_start_s=120.0, jam_stop_s=600.0,
+                        jam_radius_km=900.0,
+                        gs_outage_start_s=120.0,
+                        gs_outage_stop_s=750.0,
+                        gs_outage_fraction=0.4),
+        slo=SLOBudget(availability_floor=0.85,
+                      p99_latency_ceiling_s=30.0,
+                      retry_budget_attempts=2.5,
+                      max_lost_sessions=2,
+                      survival_margin_floor=0.0),
+        n_trials=2,
+    )
 
 
 def main() -> None:
-    rng = random.Random(2022)
-    system = SpaceCoreSystem(starlink())
-    total = system.constellation.total_satellites
-
     print("== Emergency resilience drill ==\n")
 
-    # A working end-to-end path before the disaster.
-    ue = system.provision_ue(39.9, 116.4)
+    # 1. The scenario-layer stress run: declarative spec -> seeded
+    #    trials -> SLO verdict.
+    spec = emergency_spec()
+    print(f"[scenario] {spec.title}")
+    print(f"  {spec.population.n_ues} UEs in the disaster zone, "
+          f"{spec.horizon_s:.0f}s horizon, {spec.n_trials} seeded trials")
+    result = run_scenario(spec)
+    summary = result.summary()
+    report = result.slo_report()
+    print(f"  faults injected: {summary['faults_injected']}, "
+          f"recoveries: {summary['spacecore_recoveries']}")
+    print(f"  session survival: SpaceCore "
+          f"{summary['spacecore_mean_survival']:.3f} vs stateful "
+          f"baseline {summary['baseline_mean_survival']:.3f} "
+          f"(margin +{summary['survival_margin']:.3f})")
+    print(f"\n[slo] verdict: {report.verdict}")
+    for check in report.checks:
+        op = ">=" if check.kind == "floor" else "<="
+        print(f"  [{check.verdict:8s}] {check.name:24s} "
+              f"{check.observed:.6g} {op} {check.threshold:.6g}")
+
+    # 2. Hijack blast radius + revocation (Appendix B).
+    system = SpaceCoreSystem(starlink())
+    ue = system.provision_ue(*DISASTER_SITES[0])
     system.register(ue)
     system.establish_session(ue, t=0.0)
-    survivor = system.provision_ue(40.7, -74.0)
-    system.register(survivor)
-    src_sat = system.serving_satellite_of(ue, 0.0)
-    before = system.deliver_downlink(src_sat, survivor, t=0.0)
-    print(f"[baseline] Beijing->NY: {before.route.hops} hops, "
-          f"{before.route.delay_s * 1000:.1f} ms")
-
-    # 1. Radiation failures + ISL misalignment.
-    failed = rng.sample(range(total), total // 40)
-    for sat in failed:
-        system.topology.fail_satellite(sat)
-    # Drop some random ISLs too (a few dozen misaligned lasers).
-    isl_failures = 0
-    for _ in range(50):
-        sat = rng.randrange(total)
-        if not system.topology.is_up(sat):
-            continue
-        neighbors = system.topology.isl_neighbors(sat)
-        if neighbors:
-            system.topology.fail_isl(sat, rng.choice(neighbors))
-            isl_failures += 1
-    print(f"\n[disaster] failed {len(failed)} satellites (1 in 40) and "
-          f"{isl_failures} laser ISLs")
-
-    survivor.connected = False  # force a fresh paging + local setup
-    src_sat = system.serving_satellite_of(ue, 0.0)
-    after = system.deliver_downlink(src_sat, survivor, t=0.0)
-    print(f"[rerouted] Beijing->NY: delivered={after.route.delivered}, "
-          f"{after.route.hops} hops, "
-          f"{after.route.delay_s * 1000:.1f} ms "
-          f"(+{(after.route.delay_s - before.route.delay_s) * 1000:.1f} "
-          "ms detour)")
-
-    # 2. Procedure survival under bursty link loss.
-    channel = GilbertElliottChannel(seed=7)
-    fer = sum(channel.series(2000)) / 2000
-    sc_msgs = len(spacecore().flow(ProcedureKind.SESSION_ESTABLISHMENT))
-    ntn = fiveg_ntn()
-    ntn_msgs = len(ntn.flow(ProcedureKind.SESSION_ESTABLISHMENT))
-    # Home-routed messages traverse many wireless hops; approximate
-    # per-message loss as 1-(1-fer)^hops for the crossing fraction.
-    hops = 6
-    crossing = ntn.crossing_messages(
-        ntn.flow(ProcedureKind.SESSION_ESTABLISHMENT))
-    ntn_loss = 1.0 - (1.0 - fer) ** hops
-    p_spacecore = procedure_success_probability(sc_msgs, fer)
-    p_ntn = (procedure_success_probability(ntn_msgs - crossing, fer)
-             * procedure_success_probability(crossing, ntn_loss))
-    print(f"\n[link loss] mean frame error rate {fer * 100:.1f}% "
-          "(Gilbert-Elliott bursts, Fig. 13b)")
-    print(f"  SpaceCore 4-msg local establishment survives: "
-          f"{p_spacecore * 100:5.1f}%")
-    print(f"  5G NTN   {ntn_msgs}-msg home-routed establishment "
-          f"survives: {p_ntn * 100:5.1f}%")
-
-    # 3. Hijack blast radius + revocation.
     sat_idx = system.serving_satellite_of(ue, 0.0)
     hijacked = system.satellite(sat_idx)
     exposed = hijacked.exposed_states()
@@ -117,8 +105,10 @@ def main() -> None:
     except FallbackRequired:
         print(f"  [revoked] epoch rotated to {system.home.epoch}; "
               "hijacked satellite can no longer open any new replica")
-    print("\nDrill complete: service survived the constellation "
-          "degradation, and the hijack leaked only ephemeral state.")
+
+    print("\nDrill complete: the SLO gate held under churn, jamming "
+          "and gateway blackout, and the hijack leaked only ephemeral "
+          "state.")
 
 
 if __name__ == "__main__":

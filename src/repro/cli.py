@@ -355,6 +355,105 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _scenario_specs(args) -> Dict[str, object]:
+    """The scenarios one ``repro scenario`` invocation addresses."""
+    from .scenarios import CATALOG, get_scenario
+    if getattr(args, "all_scenarios", False) or not args.names:
+        return dict(CATALOG)
+    return {name: get_scenario(name) for name in args.names}
+
+
+def _print_slo_report(report) -> None:
+    for check in report.checks:
+        op = ">=" if check.kind == "floor" else "<="
+        print(f"    [{check.verdict:8s}] {check.name:24s} "
+              f"observed={check.observed:.6g} {op} "
+              f"threshold={check.threshold:.6g}")
+
+
+def _cmd_scenario(args) -> int:
+    from .scenarios import (
+        CATALOG,
+        check_scenario,
+        golden_path,
+        run_scenario,
+        write_golden,
+    )
+    from .scenarios.golden import diff_lines
+
+    if args.action == "list":
+        print(f"scenario catalog ({len(CATALOG)} scenarios):")
+        for name in sorted(CATALOG):
+            spec = CATALOG[name]
+            golden = "golden" if golden_path(name).exists() else "NO GOLDEN"
+            print(f"  {name:22s} trials={spec.n_trials} "
+                  f"horizon={spec.horizon_s:.0f}s ues="
+                  f"{spec.population.n_ues:<3d} [{golden}]")
+            print(f"  {'':22s} {spec.title}")
+        return 0
+
+    specs = _scenario_specs(args)
+
+    if args.action == "run":
+        for name in sorted(specs):
+            result = run_scenario(specs[name], workers=args.workers)
+            report = result.slo_report()
+            summary = result.summary()
+            print(f"{name}: verdict={report.verdict} "
+                  f"availability={summary['spacecore_mean_survival']:.3f} "
+                  f"margin={summary['survival_margin']:.3f} "
+                  f"p99={summary['spacecore_p99_recovery_s']:.2f}s "
+                  f"faults={summary['faults_injected']}")
+            _print_slo_report(report)
+            if args.update:
+                path = write_golden(result)
+                print(f"  golden updated: {path}")
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    fh.write(result.artifact_json())
+                print(f"  artifact written: {args.output}")
+        return 0
+
+    if args.action == "check":
+        exit_code = 0
+        for name in sorted(specs):
+            outcome = check_scenario(specs[name], workers=args.workers)
+            status = "ok" if outcome.ok else "FAIL"
+            drift = ("missing golden" if outcome.missing_golden
+                     else "drift" if outcome.drift else "golden ok")
+            print(f"{name}: {status} (slo={outcome.slo_verdict}, "
+                  f"{drift})")
+            if outcome.result is not None and (
+                    not outcome.ok or outcome.slo_verdict != "pass"):
+                _print_slo_report(outcome.result.slo_report())
+            for line in outcome.diff:
+                print(f"  {line}")
+            if not outcome.ok:
+                exit_code = 1
+        return exit_code
+
+    # diff: show golden-vs-run bytes without gating
+    exit_code = 0
+    for name in sorted(specs):
+        result = run_scenario(specs[name], workers=args.workers)
+        path = golden_path(name)
+        if not path.exists():
+            print(f"{name}: no golden artifact at {path}")
+            exit_code = 1
+            continue
+        expected = path.read_text(encoding="utf-8")
+        actual = result.artifact_json()
+        if expected == actual:
+            print(f"{name}: artifacts identical "
+                  f"({len(actual.encode('utf-8'))} bytes)")
+            continue
+        print(f"{name}: artifacts differ")
+        for line in diff_lines(expected, actual, name, limit=80):
+            print(f"  {line}")
+        exit_code = 1
+    return exit_code
+
+
 _COMMANDS: Dict[str, tuple] = {
     "list": (_cmd_list, "list available experiments"),
     "report": (_cmd_report, "generate the full reproduction report"),
@@ -378,6 +477,8 @@ _COMMANDS: Dict[str, tuple] = {
               "sim-time span trace of the chaos experiment (JSONL)"),
     "lint": (_cmd_lint,
              "statelessness/determinism invariant checks (static)"),
+    "scenario": (_cmd_scenario,
+                 "scenario catalog: list | run | check | diff"),
 }
 
 
@@ -466,6 +567,27 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--rules", default=None,
                              help="comma-separated rule ids to run")
             sub.add_argument("--list-rules", action="store_true")
+        if name == "scenario":
+            sub.add_argument("action",
+                             choices=("list", "run", "check", "diff"),
+                             help="list the catalog, run scenarios, "
+                                  "check against goldens + SLOs, or "
+                                  "diff artifacts")
+            sub.add_argument("names", nargs="*",
+                             help="scenario names (default: whole "
+                                  "catalog)")
+            sub.add_argument("--all", action="store_true",
+                             dest="all_scenarios",
+                             help="address the whole catalog explicitly")
+            sub.add_argument("--workers", type=int, default=None,
+                             help="shard trials across N workers "
+                                  "(default: REPRO_WORKERS or serial); "
+                                  "artifacts are identical for any value")
+            sub.add_argument("--update", action="store_true",
+                             help="with run: rewrite golden artifacts")
+            sub.add_argument("--output", default=None,
+                             help="with run: also write the artifact "
+                                  "here")
         if name == "loadpoint":
             sub.add_argument("--constellation", default="Starlink")
             sub.add_argument("--solution", default="SpaceCore")

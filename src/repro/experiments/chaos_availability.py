@@ -45,6 +45,8 @@ from ..core import ResilientSpaceCore, SpaceCoreSystem
 from ..faults.chaos import ChaosController, FaultKind, FaultSchedule
 from ..faults.failures import procedure_success_probability
 from ..fiveg.messages import ProcedureKind
+from ..hardware.model import RASPBERRY_PI_4
+from ..hardware.queueing import procedure_latency
 from ..orbits.constellation import Constellation, starlink
 from ..runtime.parallel import get_shared, run_sharded, seed_for
 from ..sim.engine import Simulator
@@ -78,6 +80,15 @@ class ChaosScenario:
     jam_link_loss: float = 0.5
     #: ISL hops a home-routed message crosses to reach the gateway.
     path_hops: float = 6.0
+    #: UE placement: (lat, lon) degree sites cycled over, jittered.
+    #: None = the default hemisphere-ish spread below.
+    ue_sites: Optional[Tuple[Tuple[float, float], ...]] = None
+    ue_jitter_deg: float = 2.0
+    #: Signaling arrival rate (procedures/s) the serving satellite's
+    #: processor sees during recovery churn -- the load point at which
+    #: COMPUTE_DEGRADE events stretch procedure latency (Fig. 8 made
+    #: live on a derated platform).
+    compute_load_per_s: float = 150.0
     seed: int = 0
 
 
@@ -152,15 +163,63 @@ _UE_SITES = (
 )
 
 
-def _place_ues(system: SpaceCoreSystem, n_ues: int, seed: int):
-    """Provision ``n_ues`` subscribers around the site list, jittered."""
-    rng = random.Random(seed)
+def _place_ues(system: SpaceCoreSystem, scenario: ChaosScenario):
+    """Provision the scenario's subscribers around its sites, jittered."""
+    rng = random.Random(scenario.seed)
+    sites = scenario.ue_sites if scenario.ue_sites else _UE_SITES
+    jitter = scenario.ue_jitter_deg
     ues = []
-    for i in range(n_ues):
-        lat, lon = _UE_SITES[i % len(_UE_SITES)]
-        ues.append(system.provision_ue(lat + rng.uniform(-2.0, 2.0),
-                                       lon + rng.uniform(-2.0, 2.0)))
+    for i in range(scenario.n_ues):
+        lat, lon = sites[i % len(sites)]
+        ues.append(system.provision_ue(lat + rng.uniform(-jitter, jitter),
+                                       lon + rng.uniform(-jitter, jitter)))
     return ues
+
+
+# ---------------------------------------------------------------------------
+# Compute-degradation latency coupling (hardware model made live)
+# ---------------------------------------------------------------------------
+
+_PENALTY_FLOWS: Dict[str, Tuple[list, frozenset]] = {}
+
+
+def _penalty_flow(system_kind: str) -> Tuple[list, frozenset]:
+    """(flow, on-board roles) whose processing a derating stretches."""
+    cached = _PENALTY_FLOWS.get(system_kind)
+    if cached is None:
+        from ..baselines.solutions import spacecore
+        if system_kind == "spacecore":
+            solution = spacecore()
+            flow = solution.flow(ProcedureKind.SESSION_ESTABLISHMENT)
+        else:
+            solution = fiveg_ntn()
+            flow = (solution.flow(ProcedureKind.INITIAL_REGISTRATION)
+                    + solution.flow(ProcedureKind.SESSION_ESTABLISHMENT))
+        cached = (flow, solution.on_board)
+        _PENALTY_FLOWS[system_kind] = cached
+    return cached
+
+
+def compute_degradation_penalty_s(system_kind: str, factor: float,
+                                  rate_per_s: float) -> float:
+    """Extra procedure latency a derated onboard processor adds.
+
+    The penalty is the difference between the M/M/1 procedure latency
+    (:func:`~repro.hardware.queueing.procedure_latency`) on the rated
+    Hardware-1 platform and on the same platform derated to ``factor``
+    of its capacity, at the scenario's recovery signaling load.  At
+    full capacity the penalty is exactly zero, so runs without
+    ``COMPUTE_DEGRADE`` events are byte-identical to the pre-scenario
+    behaviour.
+    """
+    if factor >= 1.0:
+        return 0.0
+    flow, on_board = _penalty_flow(system_kind)
+    base = procedure_latency(RASPBERRY_PI_4, rate_per_s, flow,
+                             on_board).total_s
+    degraded = procedure_latency(RASPBERRY_PI_4.derated(factor),
+                                 rate_per_s, flow, on_board).total_s
+    return max(0.0, degraded - base)
 
 
 class _StatefulBaseline:
@@ -227,7 +286,7 @@ class _StatefulBaseline:
         if sat not in graph:
             return False
         sources = set()
-        for gs in self.system.ground_stations:
+        for _, gs in topology.live_ground_stations():
             access = topology.station_access_satellite(gs, t)
             if access >= 0:
                 sources.add(access)
@@ -250,7 +309,10 @@ class _StatefulBaseline:
                 self.assignments[supi] = sat
                 self.recovery_latencies.append(
                     RLF_DETECTION_S + elapsed
-                    + INMARSAT_REGISTRATION_DELAY_S)
+                    + INMARSAT_REGISTRATION_DELAY_S
+                    + compute_degradation_penalty_s(
+                        "baseline", self.controller.min_compute_factor(),
+                        self.scenario.compute_load_per_s))
                 return
             backoff = min(NAS_RETRY_BACKOFF_BASE_S * (2.0 ** attempt),
                           NAS_RETRY_BACKOFF_CAP_S)
@@ -280,17 +342,67 @@ class _StatefulBaseline:
         return live / len(self.alive)
 
 
+def serving_blast_radius(system: SpaceCoreSystem, ues) -> Tuple[set, set]:
+    """(serving satellites, serving + grid neighbours) of a population."""
+    serving = {sat for sat in
+               (system.live_serving_satellite_of(ue, 0.0) for ue in ues)
+               if sat >= 0}
+    blast_radius = set(serving)
+    for sat in serving:
+        blast_radius.update(system.topology.directional_neighbors(
+            sat).values())
+    return serving, blast_radius
+
+
+def default_chaos_schedule(system: SpaceCoreSystem, ues,
+                           scenario: ChaosScenario) -> FaultSchedule:
+    """The stock churn mix: blast-radius decay + bursts + jamming.
+
+    The scenario catalog (:mod:`repro.scenarios`) swaps this builder
+    for scenario-specific compositions via the ``schedule_builder``
+    hook of :func:`run_chaos_availability`.
+    """
+    serving, blast_radius = serving_blast_radius(system, ues)
+    schedule = FaultSchedule()
+    schedule.add_satellite_decay(
+        sorted(blast_radius), scenario.horizon_s,
+        acceleration=scenario.decay_acceleration,
+        repair_delay_s=scenario.repair_delay_s, seed=scenario.seed)
+    links = {frozenset((sat, nbr)) for sat in serving
+             for nbr in system.topology.directional_neighbors(
+                 sat).values()}
+    schedule.add_link_bursts(
+        [tuple(sorted(link)) for link in sorted(links, key=sorted)],
+        scenario.horizon_s, seed=scenario.seed + 1)
+    if (scenario.jam_radius_km > 0
+            and scenario.jam_stop_s > scenario.jam_start_s):
+        ue_lats = [ue.lat for ue in ues]
+        ue_lons = [ue.lon for ue in ues]
+        from ..faults.attacks import JammingAttack
+        jammer = JammingAttack(
+            sum(ue_lats) / len(ue_lats),
+            sum(ue_lons) / len(ue_lons),
+            radius_km=scenario.jam_radius_km)
+        schedule.add_jamming_window(jammer, scenario.jam_start_s,
+                                    scenario.jam_stop_s)
+    return schedule
+
+
 def run_chaos_availability(
         constellation: Optional[Constellation] = None,
         scenario: Optional[ChaosScenario] = None,
-        metrics=None, tracer=None) -> ChaosAvailabilityResult:
+        metrics=None, tracer=None,
+        schedule_builder=None) -> ChaosAvailabilityResult:
     """One seeded churn run: SpaceCore vs the stateful baseline.
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
     ``tracer`` (a :class:`~repro.obs.tracing.Tracer`, which gets the
     simulator's clock injected) instrument the run without changing
     its behaviour: the engine, chaos controller and recovery machinery
-    all share the same sinks.
+    all share the same sinks.  ``schedule_builder`` --
+    ``(system, ues, scenario) -> FaultSchedule`` -- replaces the
+    default churn mix (:func:`default_chaos_schedule`) with a
+    scenario-specific fault composition.
     """
     scenario = scenario if scenario is not None else ChaosScenario()
     system = SpaceCoreSystem(constellation
@@ -307,41 +419,18 @@ def run_chaos_availability(
     baseline = _StatefulBaseline(system, scenario, controller)
 
     # -- population + initial attach at t=0 -------------------------------------
-    ues = _place_ues(system, scenario.n_ues, scenario.seed)
+    ues = _place_ues(system, scenario)
     for ue in ues:
         resilient.register(ue, 0.0)
         resilient.establish_session(ue, 0.0)
     baseline.bind_ues(ues)
     baseline.establish_all(ues, 0.0)
 
-    # -- fault schedule: decay on the blast radius + bursts + jamming ------------
-    serving = {sat for sat in
-               (system.live_serving_satellite_of(ue, 0.0) for ue in ues)
-               if sat >= 0}
-    blast_radius = set(serving)
-    for sat in serving:
-        blast_radius.update(system.topology.directional_neighbors(
-            sat).values())
-    schedule = FaultSchedule()
-    schedule.add_satellite_decay(
-        sorted(blast_radius), scenario.horizon_s,
-        acceleration=scenario.decay_acceleration,
-        repair_delay_s=scenario.repair_delay_s, seed=scenario.seed)
-    links = {frozenset((sat, nbr)) for sat in serving
-             for nbr in system.topology.directional_neighbors(
-                 sat).values()}
-    schedule.add_link_bursts(
-        [tuple(sorted(link)) for link in sorted(links, key=sorted)],
-        scenario.horizon_s, seed=scenario.seed + 1)
-    ue_lats = [ue.lat for ue in ues]
-    ue_lons = [ue.lon for ue in ues]
-    from ..faults.attacks import JammingAttack
-    jammer = JammingAttack(
-        sum(ue_lats) / len(ue_lats),
-        sum(ue_lons) / len(ue_lons),
-        radius_km=scenario.jam_radius_km)
-    schedule.add_jamming_window(jammer, scenario.jam_start_s,
-                                scenario.jam_stop_s)
+    # -- fault schedule -----------------------------------------------------------
+    if schedule_builder is None:
+        schedule = default_chaos_schedule(system, ues, scenario)
+    else:
+        schedule = schedule_builder(system, ues, scenario)
 
     resilient.attach_chaos(controller)
     controller.subscribe(baseline.on_fault)
@@ -366,6 +455,10 @@ def run_chaos_availability(
     result.spacecore_outcomes = resilient.outcome_keys()
     result.spacecore_recovery_latencies = [
         RLF_DETECTION_S + o.total_delay_s + SPACECORE_LOCAL_EXCHANGE_S
+        + compute_degradation_penalty_s(
+            "spacecore",
+            controller.compute_factor_at(o.started_at + o.total_delay_s),
+            scenario.compute_load_per_s)
         for o in resilient.outcomes
         if o.procedure == "recovery" and o.completed]
     result.baseline_recovery_latencies = baseline.recovery_latencies

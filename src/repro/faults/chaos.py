@@ -60,21 +60,34 @@ class FaultKind(Enum):
     ISL_RECOVER = "isl-recover"
     JAM_START = "jam-start"
     JAM_STOP = "jam-stop"
+    GS_FAIL = "gs-fail"
+    GS_RECOVER = "gs-recover"
+    COMPUTE_DEGRADE = "compute-degrade"
+    COMPUTE_RESTORE = "compute-restore"
+
+
+#: Kinds whose identity includes the capacity ``factor``.
+_COMPUTE_KINDS = frozenset({FaultKind.COMPUTE_DEGRADE,
+                            FaultKind.COMPUTE_RESTORE})
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault: apply ``kind`` to ``target`` at ``time``.
 
-    ``target`` is ``(sat,)`` for satellite events, ``(sat_a, sat_b)``
-    for link events, and ``()`` for jamming (the attack object rides in
-    ``attack``; the log key carries its geometry instead).
+    ``target`` is ``(sat,)`` for satellite and compute events,
+    ``(sat_a, sat_b)`` for link events, ``(station_index,)`` for
+    ground-station events, and ``()`` for jamming (the attack object
+    rides in ``attack``; the log key carries its geometry instead).
+    ``factor`` is the remaining compute-capacity fraction of a
+    ``COMPUTE_DEGRADE`` event (1.0 for every other kind).
     """
 
     time: float
     kind: FaultKind
     target: Tuple[int, ...] = ()
     attack: Optional[JammingAttack] = field(default=None, compare=False)
+    factor: float = 1.0
 
     def key(self) -> Tuple:
         """A hashable, serialisable identity used for log comparison."""
@@ -82,6 +95,9 @@ class FaultEvent:
             geometry = (round(self.attack.lat, 9),
                         round(self.attack.lon, 9), self.attack.radius_km)
             return (self.time, self.kind.value, geometry)
+        if self.kind in _COMPUTE_KINDS:
+            return (self.time, self.kind.value, self.target,
+                    round(self.factor, 9))
         return (self.time, self.kind.value, self.target)
 
 
@@ -204,6 +220,77 @@ class FaultSchedule:
                                        attack=attack))
         return self
 
+    # -- handover storms (terminator-crossing churn) ----------------------------
+
+    def add_handover_storm(self, satellites: Sequence[int],
+                           start_s: float, stop_s: float,
+                           repair_delay_s: float = 120.0
+                           ) -> "FaultSchedule":
+        """A staggered wave of short serving-satellite blackouts.
+
+        Models the mass re-attach churn of a terminator crossing: every
+        listed satellite drops once inside the window (evenly staggered
+        in list order) and comes back ``repair_delay_s`` later, forcing
+        its whole attached population through the recovery path nearly
+        at once.
+        """
+        if start_s < 0 or stop_s <= start_s:
+            raise ValueError("storm window must satisfy 0 <= start < stop")
+        if repair_delay_s <= 0:
+            raise ValueError("repair delay must be positive")
+        sats = [int(sat) for sat in satellites]
+        if not sats:
+            return self
+        spacing = (stop_s - start_s) / len(sats)
+        for index, sat in enumerate(sats):
+            t_fail = start_s + index * spacing
+            self._events.append(FaultEvent(t_fail, FaultKind.SAT_FAIL,
+                                           (sat,)))
+            self._events.append(FaultEvent(t_fail + repair_delay_s,
+                                           FaultKind.SAT_RECOVER, (sat,)))
+        return self
+
+    # -- regional ground-station outages ----------------------------------------
+
+    def add_ground_station_outage(self, stations: Sequence[int],
+                                  start_s: float, stop_s: float
+                                  ) -> "FaultSchedule":
+        """Down the listed ground stations (by index) for one window."""
+        if start_s < 0 or stop_s <= start_s:
+            raise ValueError("outage window must satisfy 0 <= start < stop")
+        for station in stations:
+            self._events.append(FaultEvent(start_s, FaultKind.GS_FAIL,
+                                           (int(station),)))
+            self._events.append(FaultEvent(stop_s, FaultKind.GS_RECOVER,
+                                           (int(station),)))
+        return self
+
+    # -- onboard-compute degradation ("From Earth to Space") ---------------------
+
+    def add_compute_degradation(self, satellites: Sequence[int],
+                                start_s: float, stop_s: float,
+                                factor: float) -> "FaultSchedule":
+        """Throttle the listed satellites' compute for one window.
+
+        ``factor`` is the remaining capacity fraction (0 < factor < 1):
+        radiation upsets, thermal throttling, or a failed board leave
+        the platform running at ``factor`` of its rated throughput, so
+        procedure service times stretch by ``1 / factor`` and the
+        signaling processor saturates at proportionally lower load.
+        """
+        if start_s < 0 or stop_s <= start_s:
+            raise ValueError(
+                "degradation window must satisfy 0 <= start < stop")
+        if not 0.0 < factor < 1.0:
+            raise ValueError("capacity factor must be in (0, 1)")
+        for sat in satellites:
+            self._events.append(FaultEvent(
+                start_s, FaultKind.COMPUTE_DEGRADE, (int(sat),),
+                factor=factor))
+            self._events.append(FaultEvent(
+                stop_s, FaultKind.COMPUTE_RESTORE, (int(sat),)))
+        return self
+
     # -- reading ----------------------------------------------------------------
 
     def events(self) -> List[FaultEvent]:
@@ -239,23 +326,37 @@ class ChaosController:
         self.log: List[FaultEvent] = []
         self._subscribers: List[Callable[[FaultEvent], None]] = []
         self.events_armed = 0
+        self._armed_keys: set = set()
+        #: Live compute-capacity fractions per degraded satellite
+        #: (absent = full capacity).
+        self.compute_factors: Dict[int, float] = {}
 
     def subscribe(self, callback: Callable[[FaultEvent], None]) -> None:
         """Register a callback invoked after each event is applied."""
         self._subscribers.append(callback)
 
     def arm(self, schedule: FaultSchedule) -> int:
-        """Register every schedule event on the simulator.
+        """Register every *new* schedule event on the simulator.
 
-        Returns the number of events armed.  Multiple schedules can be
-        armed on one controller; firing order stays deterministic
-        because the engine breaks time ties by scheduling order.
+        Returns the number of events newly armed.  Multiple schedules
+        can be armed on one controller; firing order stays
+        deterministic because the engine breaks time ties by scheduling
+        order and ``FaultSchedule.events()`` orders ties by
+        ``(time, kind, target)``.  Arming is idempotent by event key:
+        overlapping or duplicate schedules (the same event armed twice,
+        two schedules sharing a window) apply each distinct fault
+        exactly once.
         """
-        events = schedule.events()
-        for event in events:
+        armed = 0
+        for event in schedule.events():
+            key = event.key()
+            if key in self._armed_keys:
+                continue
+            self._armed_keys.add(key)
             self.sim.schedule_at(event.time, self._fire, event)
-        self.events_armed += len(events)
-        return len(events)
+            armed += 1
+        self.events_armed += armed
+        return armed
 
     # -- event application --------------------------------------------------------
 
@@ -273,6 +374,14 @@ class ChaosController:
             event.attack.apply(self.topology, self.sim.now)
         elif kind is FaultKind.JAM_STOP:
             event.attack.lift(self.topology, self.sim.now)
+        elif kind is FaultKind.GS_FAIL:
+            self.topology.fail_ground_station(event.target[0])
+        elif kind is FaultKind.GS_RECOVER:
+            self.topology.recover_ground_station(event.target[0])
+        elif kind is FaultKind.COMPUTE_DEGRADE:
+            self.compute_factors[event.target[0]] = event.factor
+        elif kind is FaultKind.COMPUTE_RESTORE:
+            self.compute_factors.pop(event.target[0], None)
         self.log.append(event)
         if self.metrics is not None:
             self.metrics.counter("chaos.faults", kind=kind.value).inc()
@@ -301,6 +410,31 @@ class ChaosController:
             elif event.kind is FaultKind.JAM_STOP:
                 open_jams -= 1
         return open_jams > 0
+
+    def min_compute_factor(self) -> float:
+        """The worst live compute derating (1.0 = nothing degraded)."""
+        if not self.compute_factors:
+            return 1.0
+        return min(self.compute_factors.values())
+
+    def compute_factor_at(self, t: float) -> float:
+        """The worst compute derating active at sim-time ``t``.
+
+        Replays the applied-event log, so it is usable after the run
+        has finished (the live :attr:`compute_factors` map only shows
+        the final state).
+        """
+        active: Dict[int, float] = {}
+        for event in self.log:
+            if event.time > t:
+                break
+            if event.kind is FaultKind.COMPUTE_DEGRADE:
+                active[event.target[0]] = event.factor
+            elif event.kind is FaultKind.COMPUTE_RESTORE:
+                active.pop(event.target[0], None)
+        if not active:
+            return 1.0
+        return min(active.values())
 
 
 class LinkChannelModel:

@@ -52,6 +52,25 @@ class HardwarePlatform:
     base_cost_us: float   # cost of a weight-1.0 message (microseconds)
     cores: int = 1
 
+    def derated(self, capacity_factor: float) -> "HardwarePlatform":
+        """This platform throttled to ``capacity_factor`` of its compute.
+
+        Models onboard degradation (radiation upsets, thermal
+        throttling, a failed board): every message costs
+        ``1 / capacity_factor`` times as much CPU, so the signaling
+        processor saturates at proportionally lower load.  Chaos
+        ``COMPUTE_DEGRADE`` events carry the factor; the scenario layer
+        feeds it back through here.
+        """
+        if not 0.0 < capacity_factor <= 1.0:
+            raise ValueError("capacity factor must be in (0, 1]")
+        if capacity_factor == 1.0:
+            return self
+        return HardwarePlatform(
+            f"{self.name}@{capacity_factor:g}",
+            base_cost_us=self.base_cost_us / capacity_factor,
+            cores=self.cores)
+
     def message_cost_s(self, processing_role: Role) -> float:
         """CPU seconds to process one message at the given NF."""
         weight = _ROLE_WEIGHTS.get(processing_role, 1.0)

@@ -44,6 +44,7 @@ import atexit
 import hashlib
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -381,6 +382,11 @@ def run_sharded(fn: Callable[[T], R], items: Iterable[T], *,
             # A worker died (OOM-killed, signalled).  Recycle the pool
             # once and recompute the whole sharded region -- results
             # are pure per item, so overwriting is harmless.
+            warnings.warn(
+                f"worker pool broke during {fan_label!r}; recycling "
+                "the pool and recomputing the sharded region",
+                RuntimeWarning, stacklevel=2)
+            planner.note_pool_recycled(fan_label)
             shutdown_worker_pools()
             pool = _acquire_pool(workers)
             _dispatch_batches(pool, fn, items, probed, plan.chunk_size,

@@ -54,6 +54,7 @@ __all__ = [
     "ExecutionPlan",
     "cost_prior",
     "forced_mode",
+    "note_pool_recycled",
     "plan_execution",
     "planner_calibration",
     "planner_decisions",
@@ -315,6 +316,16 @@ def note_probe(label: str) -> None:
 def note_pool_created() -> None:
     """Count one worker-pool creation (warm reuse does not increment)."""
     _metrics.counter("planner.pools_created").inc()
+
+
+def note_pool_recycled(label: str) -> None:
+    """Count one BrokenProcessPool recycle-and-retry.
+
+    A worker death (OOM kill, signal) silently costs a full pool
+    restart plus a recompute of the sharded region; this counter makes
+    those incidents visible in ``BENCH_planner_log.json``.
+    """
+    _metrics.counter("planner.pool_recycles", label=label).inc()
 
 
 def planner_decisions() -> List[Dict[str, Any]]:

@@ -1,0 +1,170 @@
+"""The shipped scenario catalog: named failure hypotheses, budgeted.
+
+Five resilience stories the paper's statelessness claim must survive,
+each a frozen :class:`~repro.scenarios.spec.ScenarioSpec` with a
+committed golden artifact under ``artifacts/scenarios/``:
+
+* **handover-storm** -- a terminator crossing drops every serving
+  satellite in a staggered wave, forcing the whole population through
+  the recovery path nearly at once (the "2040 Blueprint" mass-handover
+  stress);
+* **ground-outage** -- the gateways nearest the population go dark
+  while background churn keeps killing serving satellites: SpaceCore
+  recovers locally, the home-routed baseline cannot reach its core;
+* **compute-degradation** -- radiation/thermal derating halves the
+  serving satellites' compute mid-churn ("From Earth to Space"),
+  stretching recovery latency through the M/M/1 queueing model rather
+  than dropping sessions;
+* **link-weather** -- aggressive Gilbert-Elliott ISL bursts plus decay
+  churn shred the mesh around the population;
+* **urban-hotspot** -- a dense metropolitan D2D cluster under a
+  regional jammer and a serving-satellite storm.
+
+Budgets are deliberately tight-but-clearing: each scenario passes its
+SLOs with measured headroom, so a regression anywhere in the recovery
+path flips a verdict before it flips an artifact byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .slo import SLOBudget
+from .spec import ChaosSpec, PopulationSpec, ScenarioSpec
+
+#: One dense metropolitan cluster (degrees) for the hotspot surge.
+_HOTSPOT_SITES = ((35.68, 139.69),)   # Tokyo metro
+
+#: A compact regional spread sharing nearby gateways, so a fractional
+#: ground-station outage plausibly isolates the whole population.
+_REGIONAL_SITES = ((39.9, 116.4), (31.2, 121.5), (37.6, 127.0),
+                   (35.7, 139.7))
+
+
+CATALOG: Dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in (
+        ScenarioSpec(
+            name="handover-storm",
+            title="Mass handover storm at a terminator crossing",
+            description=(
+                "Every serving satellite blacks out once in a staggered "
+                "wave; the entire attached population re-attaches nearly "
+                "simultaneously."),
+            horizon_s=1800.0,
+            population=PopulationSpec(n_ues=12),
+            chaos=ChaosSpec(storm_start_s=120.0, storm_stop_s=900.0,
+                            storm_repair_delay_s=180.0),
+            slo=SLOBudget(availability_floor=0.95,
+                          p99_latency_ceiling_s=20.0,
+                          retry_budget_attempts=2.0,
+                          max_lost_sessions=2,
+                          survival_margin_floor=0.0),
+            n_trials=2,
+        ),
+        ScenarioSpec(
+            name="ground-outage",
+            title="Regional ground-station outage under churn",
+            description=(
+                "The gateways nearest the population go dark for fifteen "
+                "minutes while decay churn keeps killing serving "
+                "satellites; home-routed recovery needs exactly what the "
+                "outage removed."),
+            horizon_s=1800.0,
+            population=PopulationSpec(n_ues=12, sites=_REGIONAL_SITES),
+            chaos=ChaosSpec(decay_acceleration=5.0e5,
+                            repair_delay_s=1200.0,
+                            gs_outage_start_s=300.0,
+                            gs_outage_stop_s=1200.0,
+                            gs_outage_fraction=0.5),
+            slo=SLOBudget(availability_floor=0.9,
+                          p99_latency_ceiling_s=20.0,
+                          retry_budget_attempts=2.0,
+                          max_lost_sessions=2,
+                          survival_margin_floor=0.0),
+            n_trials=2,
+        ),
+        ScenarioSpec(
+            name="compute-degradation",
+            title="Onboard compute derated to half capacity mid-churn",
+            description=(
+                "Radiation upsets throttle every serving satellite to "
+                "50% compute while decay churn forces recoveries at a "
+                "mass re-attach signaling load; the derated platform "
+                "saturates in the M/M/1 model, so every recovery inside "
+                "the window pays the Fig. 8 blow-up."),
+            horizon_s=1800.0,
+            # A neighbor satellite inheriting a failed cell's population
+            # sees re-attach signaling at thousands of procedures/s; at
+            # half compute, the RPi4-class platform is past saturation.
+            population=PopulationSpec(n_ues=12, compute_load_per_s=1500.0),
+            chaos=ChaosSpec(decay_acceleration=5.0e5,
+                            repair_delay_s=1200.0,
+                            compute_start_s=200.0,
+                            compute_stop_s=1600.0,
+                            compute_factor=0.5),
+            slo=SLOBudget(availability_floor=0.9,
+                          p99_latency_ceiling_s=45.0,
+                          retry_budget_attempts=2.0,
+                          max_lost_sessions=2,
+                          survival_margin_floor=0.0),
+            n_trials=2,
+        ),
+        ScenarioSpec(
+            name="link-weather",
+            title="Gilbert-Elliott burst weather on the serving mesh",
+            description=(
+                "Aggressive GE bursts flap every ISL around the "
+                "population while decay churn removes satellites; the "
+                "mesh the home-routed flow depends on keeps tearing."),
+            horizon_s=1800.0,
+            population=PopulationSpec(n_ues=12),
+            chaos=ChaosSpec(decay_acceleration=5.0e5,
+                            repair_delay_s=1200.0,
+                            link_bursts=True,
+                            link_p_good_to_bad=0.05,
+                            link_p_bad_to_good=0.15),
+            slo=SLOBudget(availability_floor=0.9,
+                          p99_latency_ceiling_s=20.0,
+                          retry_budget_attempts=2.0,
+                          max_lost_sessions=2,
+                          survival_margin_floor=0.0),
+            n_trials=2,
+        ),
+        ScenarioSpec(
+            name="urban-hotspot",
+            title="Urban D2D hotspot surge under jamming",
+            description=(
+                "A dense metropolitan cluster concentrates the whole "
+                "population on a handful of satellites; a regional "
+                "jammer opens over the city while a storm drops the "
+                "serving satellites."),
+            horizon_s=1800.0,
+            population=PopulationSpec(n_ues=16, sites=_HOTSPOT_SITES,
+                                      jitter_deg=0.5),
+            chaos=ChaosSpec(storm_start_s=200.0, storm_stop_s=1000.0,
+                            storm_repair_delay_s=150.0,
+                            jam_start_s=300.0, jam_stop_s=900.0,
+                            jam_radius_km=800.0),
+            slo=SLOBudget(availability_floor=0.95,
+                          p99_latency_ceiling_s=20.0,
+                          retry_budget_attempts=2.0,
+                          max_lost_sessions=2,
+                          survival_margin_floor=0.0),
+            n_trials=2,
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """Catalog names in stable (sorted) order."""
+    return sorted(CATALOG)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one catalog scenario by exact name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"know {scenario_names()}") from None

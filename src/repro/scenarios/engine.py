@@ -1,0 +1,264 @@
+"""Scenario execution: spec -> sharded trials -> canonical artifact.
+
+One :class:`~repro.scenarios.spec.ScenarioSpec` runs as a seeded
+Monte Carlo on the sharded runtime: trial ``k`` derives its seed with
+:func:`~repro.runtime.parallel.seed_for` from the spec's base seed, so
+the derivation is identical whether trials execute serially or across
+a process pool.  Each trial carries its own
+:class:`~repro.obs.metrics.MetricsRegistry`; the parent merges the
+per-trial snapshots **in trial order** with
+:func:`~repro.obs.metrics.merge_snapshots` and evaluates the SLO
+budget over across-trial aggregates.  The resulting artifact is
+canonical sorted JSON with no trace of the execution medium -- the
+byte-for-byte golden contract the catalog CI replays at 1 and 2
+workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.chaos_availability import (
+    ChaosScenario,
+    run_chaos_availability,
+    serving_blast_radius,
+)
+from ..faults.chaos import FaultSchedule
+from ..obs import MetricsRegistry, merge_snapshots
+from ..orbits.constellation import by_name
+from ..runtime.parallel import get_shared, run_sharded, seed_for
+from .slo import SLOReport, evaluate_slos, percentile
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioResult",
+    "build_schedule",
+    "run_scenario",
+]
+
+
+def _central_angle(lat1: float, lon1: float,
+                   lat2: float, lon2: float) -> float:
+    """Great-circle angle between two (radian) terrestrial points."""
+    cosine = (math.sin(lat1) * math.sin(lat2)
+              + math.cos(lat1) * math.cos(lat2) * math.cos(lon1 - lon2))
+    return math.acos(min(1.0, max(-1.0, cosine)))
+
+
+def build_schedule(spec: ScenarioSpec, system, ues,
+                   scenario: ChaosScenario) -> FaultSchedule:
+    """Compose the spec's declared fault processes into one schedule.
+
+    Deterministic in (spec, scenario.seed): target selection uses only
+    sorted topology-derived sets and the trial seed, never iteration
+    order of hashes.  The :class:`~repro.faults.chaos.ChaosController`
+    dedupes by event key, so overlapping windows compose safely.
+    """
+    chaos = spec.chaos
+    serving, blast_radius = serving_blast_radius(system, ues)
+    targets = sorted(serving)
+    schedule = FaultSchedule()
+
+    if chaos.decay_acceleration > 0:
+        schedule.add_satellite_decay(
+            sorted(blast_radius), scenario.horizon_s,
+            acceleration=chaos.decay_acceleration,
+            repair_delay_s=chaos.repair_delay_s, seed=scenario.seed)
+
+    if chaos.link_bursts:
+        links = {frozenset((sat, nbr)) for sat in serving
+                 for nbr in system.topology.directional_neighbors(
+                     sat).values()}
+        schedule.add_link_bursts(
+            [tuple(sorted(link)) for link in sorted(links, key=sorted)],
+            scenario.horizon_s,
+            p_good_to_bad=chaos.link_p_good_to_bad,
+            p_bad_to_good=chaos.link_p_bad_to_good,
+            seed=scenario.seed + 1)
+
+    if chaos.storms and targets:
+        schedule.add_handover_storm(
+            targets, chaos.storm_start_s,
+            min(chaos.storm_stop_s, scenario.horizon_s),
+            repair_delay_s=chaos.storm_repair_delay_s)
+
+    if chaos.jams:
+        from ..faults.attacks import JammingAttack
+        jammer = JammingAttack(
+            sum(ue.lat for ue in ues) / len(ues),
+            sum(ue.lon for ue in ues) / len(ues),
+            radius_km=chaos.jam_radius_km)
+        schedule.add_jamming_window(jammer, chaos.jam_start_s,
+                                    chaos.jam_stop_s)
+
+    if chaos.downs_ground_stations:
+        lat = sum(ue.lat for ue in ues) / len(ues)
+        lon = sum(ue.lon for ue in ues) / len(ues)
+        stations = system.topology.ground_stations
+        by_proximity = sorted(
+            range(len(stations)),
+            key=lambda i: (_central_angle(lat, lon, stations[i].lat,
+                                          stations[i].lon), i))
+        count = max(1, math.ceil(chaos.gs_outage_fraction * len(stations)))
+        schedule.add_ground_station_outage(
+            sorted(by_proximity[:count]),
+            chaos.gs_outage_start_s, chaos.gs_outage_stop_s)
+
+    if chaos.degrades_compute and targets:
+        count = max(1, math.ceil(chaos.compute_fraction * len(targets)))
+        schedule.add_compute_degradation(
+            targets[:count], chaos.compute_start_s,
+            min(chaos.compute_stop_s, scenario.horizon_s),
+            factor=chaos.compute_factor)
+
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# Sharded trial execution
+# ---------------------------------------------------------------------------
+
+def _fault_digest(fault_keys: List[Tuple]) -> str:
+    """SHA-256 of the canonical fault log -- pins the event sequence
+    without shipping hundreds of raw tuples in every artifact."""
+    canonical = json.dumps([list(key) for key in fault_keys],
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _scenario_trial(work) -> Dict:
+    """One seeded scenario trial (module-level: workers unpickle it).
+
+    The spec and pre-built constellation ship once per worker through
+    the shared-object registry; the task itself pickles one integer.
+    """
+    trial = work
+    spec: ScenarioSpec = get_shared("scenario:spec")
+    constellation = get_shared("scenario:constellation")
+    seed = seed_for(spec.base_seed, f"scenario:{spec.name}:trial:{trial}")
+    trial_scenario = spec.chaos_scenario(seed)
+    metrics = MetricsRegistry()
+    result = run_chaos_availability(
+        constellation=constellation, scenario=trial_scenario,
+        metrics=metrics,
+        schedule_builder=lambda system, ues, scn: build_schedule(
+            spec, system, ues, scn))
+
+    fault_kinds: Dict[str, int] = {}
+    for key in result.fault_log:
+        kind = key[1]
+        fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+    # Outcome keys: (procedure, supi, started_at, attempts,
+    #                total_delay_s, completed, abandoned).
+    recovery_attempts = [key[3] for key in result.spacecore_outcomes
+                         if key[0] == "recovery" and key[5]]
+
+    return {
+        "trial": trial,
+        "seed": seed,
+        "final_survival": {
+            "spacecore": result.final_spacecore_survival,
+            "baseline": result.final_baseline_survival,
+        },
+        "lost_sessions": {
+            "spacecore": result.spacecore_lost,
+            "baseline": result.baseline_lost,
+        },
+        "n_sessions": result.n_sessions,
+        "recovery_latency_s": {
+            "spacecore": [round(v, 9)
+                          for v in result.spacecore_recovery_latencies],
+            "baseline": [round(v, 9)
+                         for v in result.baseline_recovery_latencies],
+        },
+        "recovery_attempts": recovery_attempts,
+        "faults": {
+            "total": len(result.fault_log),
+            "by_kind": fault_kinds,
+            "digest": _fault_digest(result.fault_log),
+        },
+        "snapshot": metrics.snapshot(),
+    }
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced, artifact-ready."""
+
+    spec: ScenarioSpec
+    trials: List[Dict] = field(default_factory=list)
+
+    @property
+    def merged_snapshot(self) -> Dict:
+        """Per-trial metrics folded in trial order (worker-count free)."""
+        return merge_snapshots([t["snapshot"] for t in self.trials])
+
+    def summary(self) -> Dict:
+        """Across-trial aggregates the SLO layer budgets."""
+        survivals = [t["final_survival"]["spacecore"] for t in self.trials]
+        baselines = [t["final_survival"]["baseline"] for t in self.trials]
+        latencies = [v for t in self.trials
+                     for v in t["recovery_latency_s"]["spacecore"]]
+        attempts = [a for t in self.trials for a in t["recovery_attempts"]]
+        n = len(self.trials)
+        return {
+            "n_trials": n,
+            "spacecore_mean_survival": (sum(survivals) / n if n else 0.0),
+            "spacecore_min_survival": min(survivals) if survivals else 0.0,
+            "baseline_mean_survival": (sum(baselines) / n if n else 0.0),
+            "survival_margin": ((sum(survivals) - sum(baselines)) / n
+                                if n else 0.0),
+            "min_trial_margin": (min(s - b for s, b
+                                     in zip(survivals, baselines))
+                                 if n else 0.0),
+            "spacecore_p99_recovery_s": round(percentile(latencies, 99.0),
+                                              9),
+            "spacecore_recoveries": len(latencies),
+            "spacecore_mean_attempts": (sum(attempts) / len(attempts)
+                                        if attempts else 0.0),
+            "spacecore_lost": sum(t["lost_sessions"]["spacecore"]
+                                  for t in self.trials),
+            "baseline_lost": sum(t["lost_sessions"]["baseline"]
+                                 for t in self.trials),
+            "faults_injected": sum(t["faults"]["total"]
+                                   for t in self.trials),
+        }
+
+    def slo_report(self) -> SLOReport:
+        """Judge the run's summary against the spec's SLO budget."""
+        return evaluate_slos(self.spec.slo, self.summary())
+
+    def artifact(self) -> Dict:
+        """The golden payload: spec echo, aggregates, verdicts, trials."""
+        return {
+            "scenario": self.spec.describe(),
+            "summary": self.summary(),
+            "slo_report": self.slo_report().to_json(),
+            "merged_snapshot": self.merged_snapshot,
+            "trials": self.trials,
+        }
+
+    def artifact_json(self) -> str:
+        """Canonical bytes: sorted keys, two-space indent, newline EOF."""
+        return json.dumps(self.artifact(), indent=2, sort_keys=True) + "\n"
+
+
+def run_scenario(spec: ScenarioSpec,
+                 workers: Optional[int] = None) -> ScenarioResult:
+    """Execute one catalog scenario: seeded trials, sharded, merged.
+
+    The trial list is assembled by trial index whatever the worker
+    count, so ``run_scenario(spec, 1)`` and ``run_scenario(spec, 8)``
+    produce byte-identical artifacts.
+    """
+    constellation = by_name(spec.constellation)
+    trials = run_sharded(
+        _scenario_trial, list(range(spec.n_trials)), workers=workers,
+        shared={"scenario:spec": spec,
+                "scenario:constellation": constellation},
+        label=f"scenario.{spec.name}")
+    return ScenarioResult(spec=spec, trials=trials)

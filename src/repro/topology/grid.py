@@ -39,6 +39,7 @@ class GridTopology:
         self.ground_stations = list(ground_stations)
         self._failed_sats: set = set()
         self._failed_isls: set = set()
+        self._failed_stations: set = set()
         # The +Grid wiring is static; memoise each satellite's four
         # neighbours so per-hop routing does no plane/slot arithmetic.
         self._neighbor_cache: Dict[int, Tuple[int, int, int, int]] = {}
@@ -83,6 +84,30 @@ class GridTopology:
         if key in self._failed_isls:
             self._failed_isls.discard(key)
             self._fault_epoch += 1
+
+    def fail_ground_station(self, station: int) -> None:
+        """Take one ground station offline (regional outage). Idempotent."""
+        if not 0 <= station < len(self.ground_stations):
+            raise ValueError(f"no ground station with index {station}")
+        if station not in self._failed_stations:
+            self._failed_stations.add(station)
+            self._fault_epoch += 1
+
+    def recover_ground_station(self, station: int) -> None:
+        """Bring a downed ground station back. Idempotent."""
+        if station in self._failed_stations:
+            self._failed_stations.discard(station)
+            self._fault_epoch += 1
+
+    def ground_station_up(self, station: int) -> bool:
+        """Whether the ground station at this index is online."""
+        return station not in self._failed_stations
+
+    def live_ground_stations(self) -> List[Tuple[int, GroundStation]]:
+        """(index, station) pairs of every currently-online station."""
+        return [(index, station)
+                for index, station in enumerate(self.ground_stations)
+                if index not in self._failed_stations]
 
     def is_up(self, sat: int) -> bool:
         """Whether a satellite is alive."""
@@ -220,7 +245,7 @@ class GridTopology:
                                    weight=dist / SPEED_OF_LIGHT_KM_S,
                                    distance_km=dist)
         if include_ground:
-            for gs in self.ground_stations:
+            for _, gs in self.live_ground_stations():
                 access = self.station_access_satellite(gs, t)
                 if access >= 0:
                     delay = self.gsl_delay_s(access, gs, t)

@@ -303,3 +303,164 @@ class TestFailuresValidation:
     def test_invalid_inputs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             satellite_decay_series(**kwargs)
+
+
+class TestArmIdempotency:
+    """Regression: overlapping/duplicate schedules arm each distinct
+    fault exactly once, and re-arming reports zero new events.
+    """
+
+    def test_rearming_same_schedule_is_noop(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        schedule = _decay_schedule(SEED)
+        first = controller.arm(schedule)
+        assert first == len(schedule.events())
+        assert controller.arm(schedule) == 0
+        assert controller.events_armed == first
+        sim.run()
+        # Each event fired exactly once despite the double arm.
+        assert controller.log_keys() == [e.key()
+                                         for e in schedule.events()]
+
+    def test_overlapping_schedules_dedupe_by_key(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        shared = FaultEvent(5.0, FaultKind.SAT_FAIL, (7,))
+        a = FaultSchedule().add(shared).add(
+            FaultEvent(6.0, FaultKind.SAT_RECOVER, (7,)))
+        b = FaultSchedule().add(shared).add(
+            FaultEvent(8.0, FaultKind.SAT_FAIL, (9,)))
+        assert controller.arm(a) == 2
+        assert controller.arm(b) == 1   # only the (8.0, fail, 9) is new
+        sim.run()
+        assert len(controller.log) == 3
+
+    def test_distinct_compute_factors_are_distinct_events(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        a = FaultSchedule().add(FaultEvent(
+            1.0, FaultKind.COMPUTE_DEGRADE, (3,), factor=0.5))
+        b = FaultSchedule().add(FaultEvent(
+            1.0, FaultKind.COMPUTE_DEGRADE, (3,), factor=0.25))
+        assert controller.arm(a) == 1
+        assert controller.arm(b) == 1   # different factor, different key
+        assert controller.arm(b) == 0
+
+    def test_tie_order_deterministic_for_same_arm_sequence(
+            self, topology):
+        def run():
+            sim = Simulator()
+            controller = ChaosController(
+                sim, GridTopology(topology.propagator, []))
+            for sat in (11, 3, 7):
+                controller.arm(FaultSchedule().add(
+                    FaultEvent(2.0, FaultKind.SAT_FAIL, (sat,))))
+            sim.run()
+            return controller.log_keys()
+
+        assert run() == run()
+
+    def test_batch_arm_fires_ties_in_sorted_order(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        schedule = FaultSchedule()
+        for sat in (11, 3, 7):
+            schedule.add(FaultEvent(2.0, FaultKind.SAT_FAIL, (sat,)))
+        controller.arm(schedule)
+        sim.run()
+        assert [key[2] for key in controller.log_keys()] == [
+            (3,), (7,), (11,)]
+
+
+class TestGroundStationFaults:
+    @pytest.fixture()
+    def gs_topology(self):
+        from repro.orbits import default_ground_stations
+        return GridTopology(IdealPropagator(starlink()),
+                            default_ground_stations(6))
+
+    def test_outage_window_downs_and_restores(self, gs_topology):
+        sim = Simulator()
+        controller = ChaosController(sim, gs_topology)
+        controller.arm(FaultSchedule().add_ground_station_outage(
+            [0, 2], 10.0, 20.0))
+        sim.run(until=15.0)
+        assert not gs_topology.ground_station_up(0)
+        assert not gs_topology.ground_station_up(2)
+        assert gs_topology.ground_station_up(1)
+        assert len(gs_topology.live_ground_stations()) == 4
+        sim.run()
+        assert gs_topology.ground_station_up(0)
+        assert len(gs_topology.live_ground_stations()) == 6
+
+    def test_gs_failure_is_idempotent_and_epoch_bumps_once(
+            self, gs_topology):
+        before = gs_topology.fault_epoch
+        gs_topology.fail_ground_station(1)
+        gs_topology.fail_ground_station(1)
+        assert gs_topology.fault_epoch == before + 1
+        gs_topology.recover_ground_station(1)
+        gs_topology.recover_ground_station(1)
+        assert gs_topology.fault_epoch == before + 2
+
+    def test_unknown_station_index_rejected(self, gs_topology):
+        with pytest.raises(ValueError):
+            gs_topology.fail_ground_station(99)
+
+    def test_snapshot_graph_drops_dead_gateways(self, gs_topology):
+        gs_topology.fail_ground_station(0)
+        name = gs_topology.ground_stations[0].name
+        graph = gs_topology.snapshot_graph(0.0, include_ground=True)
+        assert name not in graph
+
+
+class TestComputeDegradation:
+    def test_window_tracks_live_factor(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        controller.arm(FaultSchedule().add_compute_degradation(
+            [4, 5], 10.0, 30.0, factor=0.5))
+        assert controller.min_compute_factor() == 1.0
+        sim.run(until=20.0)
+        assert controller.min_compute_factor() == 0.5
+        sim.run()
+        assert controller.min_compute_factor() == 1.0
+
+    def test_factor_at_replays_history_after_run(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        controller.arm(FaultSchedule().add_compute_degradation(
+            [4], 10.0, 30.0, factor=0.25))
+        sim.run()
+        assert controller.compute_factor_at(5.0) == 1.0
+        assert controller.compute_factor_at(15.0) == 0.25
+        assert controller.compute_factor_at(35.0) == 1.0
+
+    def test_worst_factor_wins_under_overlap(self, topology):
+        sim = Simulator()
+        controller = ChaosController(sim, topology)
+        controller.arm(FaultSchedule()
+                       .add_compute_degradation([1], 0.0, 100.0,
+                                                factor=0.5)
+                       .add_compute_degradation([2], 10.0, 50.0,
+                                                factor=0.2))
+        sim.run(until=20.0)
+        assert controller.min_compute_factor() == 0.2
+        sim.run(until=60.0)
+        assert controller.min_compute_factor() == 0.5
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, 1.5, -0.1])
+    def test_invalid_factor_rejected(self, factor):
+        with pytest.raises(ValueError):
+            FaultSchedule().add_compute_degradation([0], 0.0, 10.0,
+                                                    factor=factor)
+
+    def test_derated_platform_scales_cost(self):
+        from repro.hardware.model import RASPBERRY_PI_4
+        half = RASPBERRY_PI_4.derated(0.5)
+        assert half.base_cost_us == pytest.approx(
+            2.0 * RASPBERRY_PI_4.base_cost_us)
+        assert RASPBERRY_PI_4.derated(1.0) is RASPBERRY_PI_4
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_4.derated(0.0)

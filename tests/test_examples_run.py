@@ -33,6 +33,25 @@ def test_example_runs_clean(script):
     assert len(result.stdout.strip()) > 100
 
 
+def test_emergency_resilience_runs_on_the_scenario_layer():
+    """The drill must use the declarative harness and report its SLO
+    verdict (ISSUE 7 satellite: port onto the scenario layer)."""
+    script = EXAMPLES_DIR / "emergency_resilience.py"
+    source = script.read_text()
+    assert "repro.scenarios" in source
+    assert "ScenarioSpec" in source and "SLOBudget" in source
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    out = result.stdout
+    assert "[slo] verdict: pass" in out
+    assert "survival_margin" in out
+    assert "session survival: SpaceCore" in out
+    # The hijack drill stays part of the story.
+    assert "[revoked]" in out
+
+
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_has_module_docstring(script):
     source = script.read_text()

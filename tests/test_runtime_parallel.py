@@ -140,3 +140,70 @@ class TestShardMemoized:
         second = mean_hops_to_ground(constellation, stations)
         assert first == second
         assert len(_cached_mean_hops.shard_cache) == size_after_first
+
+
+class TestBrokenPoolRecycle:
+    """A worker death must be visible: a RuntimeWarning plus a planner
+    counter, not a silent restart (ISSUE 7 satellite).
+    """
+
+    def test_recycle_warns_counts_and_still_completes(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime import parallel
+        from repro.runtime.planner import planner_metrics_snapshot
+
+        real_dispatch = parallel._dispatch_batches
+        crashes = {"remaining": 1}
+
+        def flaky_dispatch(*args, **kwargs):
+            if crashes["remaining"]:
+                crashes["remaining"] -= 1
+                raise BrokenProcessPool("worker died")
+            return real_dispatch(*args, **kwargs)
+
+        monkeypatch.setattr(parallel, "_dispatch_batches", flaky_dispatch)
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+
+        def recycle_count():
+            counters = planner_metrics_snapshot()["counters"]
+            return sum(v for k, v in counters.items()
+                       if k.startswith("planner.pool_recycles"))
+
+        before = recycle_count()
+        try:
+            with pytest.warns(RuntimeWarning, match="recycling"):
+                values = run_sharded(_square, range(6), workers=2,
+                                     label="recycle-test")
+        finally:
+            shutdown_worker_pools()
+        assert values == [x * x for x in range(6)]
+        assert crashes["remaining"] == 0
+        assert recycle_count() == before + 1
+
+    def test_recycle_counter_carries_fan_label(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime import parallel
+        from repro.runtime.planner import planner_metrics_snapshot
+
+        real_dispatch = parallel._dispatch_batches
+        crashes = {"remaining": 1}
+
+        def flaky_dispatch(*args, **kwargs):
+            if crashes["remaining"]:
+                crashes["remaining"] -= 1
+                raise BrokenProcessPool("worker died")
+            return real_dispatch(*args, **kwargs)
+
+        monkeypatch.setattr(parallel, "_dispatch_batches", flaky_dispatch)
+        monkeypatch.setenv(PLANNER_ENV_VAR, "sharded")
+        try:
+            with pytest.warns(RuntimeWarning):
+                run_sharded(_square, range(4), workers=2,
+                            label="labelled-recycle")
+        finally:
+            shutdown_worker_pools()
+        counters = planner_metrics_snapshot()["counters"]
+        assert counters.get(
+            "planner.pool_recycles{label=labelled-recycle}", 0) >= 1
