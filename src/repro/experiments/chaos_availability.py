@@ -92,6 +92,71 @@ class ChaosScenario:
     seed: int = 0
 
 
+@dataclass(frozen=True)
+class PacketProbeSpec:
+    """A bulk Algorithm 1 wave probed through the faulted topology.
+
+    After the churn horizon drains, the probe routes a seeded packet
+    wave over whatever the fault schedule left standing -- dead
+    satellites and torn ISLs included -- through the batch routing
+    plane (:class:`~repro.topology.batch_routing.BatchGeoRouter`).
+    The wave is routed in ONE vectorized call, so even a large probe
+    adds milliseconds to a trial, and the batch plane's bit-exact
+    equivalence with the scalar walk keeps the artifact byte-stable
+    whether or not the compiled kernel is available.
+    """
+
+    packets: int = 256
+    #: Route epoch in simulated seconds; ``None`` probes at the
+    #: scenario horizon (the post-churn end state).
+    t_s: Optional[float] = None
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.packets < 1:
+            raise ValueError("probe needs at least one packet")
+
+
+def _run_packet_probe(system: SpaceCoreSystem, scenario: ChaosScenario,
+                      probe: PacketProbeSpec) -> Dict:
+    """Route the probe wave over the post-churn topology, summarised.
+
+    Deterministic in (probe, scenario.seed); every float is rounded so
+    the payload survives the golden-artifact byte contract.
+    """
+    import math
+
+    import numpy as np
+
+    from ..topology.batch_routing import BatchGeoRouter
+
+    t = probe.t_s if probe.t_s is not None else scenario.horizon_s
+    router = BatchGeoRouter(system.topology)
+    constellation = system.topology.constellation
+    rng = np.random.default_rng([probe.seed, scenario.seed])
+    lat_band = math.radians(
+        min(constellation.inclination_deg,
+            180.0 - constellation.inclination_deg)) - 0.02
+    src = rng.integers(0, constellation.total_satellites, probe.packets)
+    lats = rng.uniform(-lat_band, lat_band, probe.packets)
+    lons = rng.uniform(-math.pi, math.pi, probe.packets)
+    result = router.route_batch(src, lats, lons, t)
+    delivered = result.delivered
+    n_ok = int(delivered.sum())
+    return {
+        "packets": probe.packets,
+        "t_s": t,
+        "delivered": n_ok,
+        "degraded": int(result.degraded.sum()),
+        "scalar_fallbacks": int(result.fallback.sum()),
+        "mean_delay_ms": (round(float(
+            result.delay_s[delivered].mean() * 1000.0), 9)
+            if n_ok else None),
+        "mean_hops": (round(float(result.hops[delivered].mean()), 9)
+                      if n_ok else None),
+    }
+
+
 @dataclass
 class SurvivalSample:
     """Fraction of initially-established sessions alive at ``t``."""
@@ -114,6 +179,8 @@ class ChaosAvailabilityResult:
     spacecore_lost: int = 0
     baseline_lost: int = 0
     n_sessions: int = 0
+    #: Post-churn routability probe payload (None = no probe ran).
+    packet_probe: Optional[Dict] = None
 
     @property
     def final_spacecore_survival(self) -> float:
@@ -124,7 +191,17 @@ class ChaosAvailabilityResult:
         return self.samples[-1].baseline if self.samples else 0.0
 
     def to_json(self) -> Dict:
-        """The report-layer payload (both curves + latency samples)."""
+        """The report-layer payload (both curves + latency samples).
+
+        The ``packet_probe`` key appears only when a probe actually
+        ran, so existing artifacts stay byte-identical.
+        """
+        payload = self._base_json()
+        if self.packet_probe is not None:
+            payload["packet_probe"] = self.packet_probe
+        return payload
+
+    def _base_json(self) -> Dict:
         return {
             "scenario": {
                 "horizon_s": self.scenario.horizon_s,
@@ -392,7 +469,9 @@ def run_chaos_availability(
         constellation: Optional[Constellation] = None,
         scenario: Optional[ChaosScenario] = None,
         metrics=None, tracer=None,
-        schedule_builder=None) -> ChaosAvailabilityResult:
+        schedule_builder=None,
+        packet_probe: Optional[PacketProbeSpec] = None,
+        ) -> ChaosAvailabilityResult:
     """One seeded churn run: SpaceCore vs the stateful baseline.
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
@@ -402,7 +481,11 @@ def run_chaos_availability(
     all share the same sinks.  ``schedule_builder`` --
     ``(system, ues, scenario) -> FaultSchedule`` -- replaces the
     default churn mix (:func:`default_chaos_schedule`) with a
-    scenario-specific fault composition.
+    scenario-specific fault composition.  ``packet_probe`` routes a
+    seeded bulk wave through whatever topology the churn left behind
+    (see :class:`PacketProbeSpec`); it runs after the horizon drains
+    and its router keeps its own metrics out of ``metrics`` so probed
+    and unprobed runs share identical metric registries.
     """
     scenario = scenario if scenario is not None else ChaosScenario()
     system = SpaceCoreSystem(constellation
@@ -464,6 +547,9 @@ def run_chaos_availability(
     result.baseline_recovery_latencies = baseline.recovery_latencies
     result.spacecore_lost = len(resilient.lost_sessions)
     result.baseline_lost = baseline.lost
+    if packet_probe is not None:
+        result.packet_probe = _run_packet_probe(system, scenario,
+                                                packet_probe)
     return result
 
 

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..orbits.constellation import Constellation
 from ..orbits.coverage import serving_satellite
 from ..orbits.propagator import make_propagator
 from ..orbits.snapshot import snapshot_for
+from ..topology.batch_routing import BatchGeoRouter
 from ..topology.grid import GridTopology
 from ..topology.routing import GeospatialRouter
 
@@ -107,6 +110,99 @@ def compare_ideal_vs_j4(constellation: Constellation,
         mean_delay_j4_ms=mean_delay(j4_ok),
         max_extra_delay_ms=extra,
     )
+
+
+@dataclass(frozen=True)
+class RoutingSweep:
+    """Bulk Algorithm 1 statistics for one constellation epoch."""
+
+    constellation: str
+    packets: int
+    delivered_fraction: float
+    degraded_fraction: float
+    mean_delay_ms: float
+    mean_hops: float
+    scalar_fallbacks: int
+
+
+def routing_sweep(constellation: Constellation, packets: int = 2000,
+                  t: float = 300.0, seed: int = 11,
+                  propagator_kind: str = "ideal",
+                  router: Optional[BatchGeoRouter] = None
+                  ) -> RoutingSweep:
+    """Route a Monte Carlo packet wave through the batch plane.
+
+    Sources are uniform over the constellation; destinations are
+    uniform over the inclination band (the region Algorithm 1 serves
+    directly).  One ``route_batch`` call answers the whole wave --
+    this is the workload the routing benchmark times.
+    """
+    if router is None:
+        propagator = make_propagator(constellation, propagator_kind)
+        router = BatchGeoRouter(GridTopology(propagator, []))
+    rng = np.random.default_rng(seed)
+    lat_band = math.radians(
+        min(constellation.inclination_deg,
+            180.0 - constellation.inclination_deg)) - 0.02
+    src = rng.integers(0, constellation.total_satellites, packets)
+    lats = rng.uniform(-lat_band, lat_band, packets)
+    lons = rng.uniform(-math.pi, math.pi, packets)
+    result = router.route_batch(src, lats, lons, t)
+    delivered = result.delivered
+    n_ok = int(delivered.sum())
+    delay_ms = (float(result.delay_s[delivered].mean() * 1000.0)
+                if n_ok else float("inf"))
+    hops = float(result.hops[delivered].mean()) if n_ok else 0.0
+    return RoutingSweep(
+        constellation=constellation.name,
+        packets=packets,
+        delivered_fraction=n_ok / packets,
+        degraded_fraction=float(result.degraded.sum()) / packets,
+        mean_delay_ms=delay_ms,
+        mean_hops=hops,
+        scalar_fallbacks=int(result.fallback.sum()),
+    )
+
+
+def batch_path_stretch(constellation: Constellation, pairs: int = 64,
+                       t: float = 0.0, seed: int = 11) -> float:
+    """Mean delay stretch of Algorithm 1 over the Dijkstra optimum.
+
+    Both sides run batched: one ``route_batch`` for the stateless
+    plane, one multi-source ``route_many`` for the baseline (scipy
+    when available, networkx otherwise).
+    """
+    from ..topology.routing import DijkstraRouter
+    propagator = make_propagator(constellation, "ideal")
+    topology = GridTopology(propagator, [])
+    geo = BatchGeoRouter(topology)
+    base = DijkstraRouter(topology)
+    snap = snapshot_for(propagator, t)
+    rng = np.random.default_rng(seed)
+    lat_band = math.radians(
+        min(constellation.inclination_deg,
+            180.0 - constellation.inclination_deg)) - 0.05
+    lats = rng.uniform(-lat_band, lat_band, pairs)
+    lons = rng.uniform(-math.pi, math.pi, pairs)
+    srcs = rng.integers(0, constellation.total_satellites, pairs)
+    dsts = [snap.serving_satellite(float(lat), float(lon))
+            for lat, lon in zip(lats, lons)]
+    keep = [k for k, d in enumerate(dsts) if d >= 0]
+    geo_batch = geo.route_batch(srcs[keep], lats[keep], lons[keep], t)
+    base_batch = base.route_many([int(srcs[k]) for k in keep],
+                                 [dsts[k] for k in keep], t)
+    stretches = []
+    for i, baseline in enumerate(base_batch):
+        if not (geo_batch.delivered[i] and baseline.delivered):
+            continue
+        if baseline.delay_s == 0:
+            stretches.append(1.0)
+        else:
+            stretches.append(float(geo_batch.delay_s[i])
+                             / baseline.delay_s)
+    if not stretches:
+        raise RuntimeError("no pair delivered on both planes")
+    return sum(stretches) / len(stretches)
 
 
 def path_stretch_vs_optimal(constellation: Constellation,

@@ -53,6 +53,7 @@ __all__ = [
     "central_angles",
     "serving_over_times",
     "visible_counts_over_times",
+    "grid_neighbor_table",
 ]
 
 #: Maximum number of cached snapshots; one Starlink-shell snapshot is
@@ -100,7 +101,7 @@ class ConstellationSnapshot:
     """
 
     __slots__ = ("propagator", "constellation", "t", "positions_ecef",
-                 "subpoints", "raan_ecef", "arg_latitude")
+                 "subpoints", "raan_ecef", "arg_latitude", "_hop_km")
 
     def __init__(self, propagator: IdealPropagator, t: float):
         self.propagator = propagator
@@ -133,6 +134,7 @@ class ConstellationSnapshot:
         for arr in (self.positions_ecef, self.subpoints,
                     self.raan_ecef, self.arg_latitude):
             arr.setflags(write=False)
+        self._hop_km: Optional[np.ndarray] = None
 
     # -- single ground point -------------------------------------------------
 
@@ -196,6 +198,72 @@ class ConstellationSnapshot:
         theta = _cap_angle(self.constellation, min_elevation_deg)
         ang = self.central_angle_matrix(lats, lons)
         return (ang <= theta).sum(axis=1)
+
+    # -- +Grid edge geometry -------------------------------------------------
+
+    def hop_lengths_km(self) -> np.ndarray:
+        """ISL length to each +Grid neighbour, shape ``(N, 4)`` km.
+
+        Column ``j`` pairs with column ``j`` of
+        :func:`grid_neighbor_table` (up, down, left, right).  Each
+        element computes ``sqrt(dx*dx + dy*dy + dz*dz)`` exactly like
+        the scalar per-edge memo in the geospatial router, so batched
+        delay accumulation is bit-identical.  Built lazily, cached on
+        the snapshot (pure geometry -- never depends on liveness).
+        """
+        if self._hop_km is None:
+            nbr = grid_neighbor_table(self.constellation)
+            pos = self.positions_ecef
+            px, py, pz = pos[:, 0], pos[:, 1], pos[:, 2]
+            dx = px[:, None] - px[nbr]
+            dy = py[:, None] - py[nbr]
+            dz = pz[:, None] - pz[nbr]
+            hop = np.sqrt(dx * dx + dy * dy + dz * dz)
+            hop.setflags(write=False)
+            self._hop_km = hop
+        return self._hop_km
+
+
+# ---------------------------------------------------------------------------
+# The +Grid neighbour table (pure wiring, constellation-shape keyed)
+# ---------------------------------------------------------------------------
+
+#: Direction-name -> column index of :func:`grid_neighbor_table`.
+GRID_DIRECTIONS: Tuple[str, str, str, str] = ("up", "down", "left", "right")
+
+_NEIGHBOR_TABLES: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
+_NEIGHBOR_TABLE_CACHE_SIZE = 16
+
+
+def grid_neighbor_table(constellation: Constellation) -> np.ndarray:
+    """The +Grid wiring as an ``(N, 4)`` int32 table.
+
+    Columns are ``(up, down, left, right)`` in the Algorithm 1
+    direction order (:data:`GRID_DIRECTIONS`), matching
+    ``GridTopology.directional_neighbors`` element-for-element:
+    up/down are the intra-plane ring, left/right the adjacent planes.
+    The wiring depends only on the grid shape ``(num_planes,
+    sats_per_plane)``, so tables are memoised per shape.
+    """
+    key = (constellation.num_planes, constellation.sats_per_plane)
+    table = _NEIGHBOR_TABLES.get(key)
+    if table is not None:
+        _NEIGHBOR_TABLES.move_to_end(key)
+        return table
+    num_planes, sats_per_plane = key
+    planes = np.repeat(np.arange(num_planes), sats_per_plane)
+    slots = np.tile(np.arange(sats_per_plane), num_planes)
+    base = planes * sats_per_plane
+    table = np.empty((num_planes * sats_per_plane, 4), dtype=np.int32)
+    table[:, 0] = base + (slots + 1) % sats_per_plane           # up
+    table[:, 1] = base + (slots - 1) % sats_per_plane           # down
+    table[:, 2] = ((planes - 1) % num_planes) * sats_per_plane + slots
+    table[:, 3] = ((planes + 1) % num_planes) * sats_per_plane + slots
+    table.setflags(write=False)
+    _NEIGHBOR_TABLES[key] = table
+    while len(_NEIGHBOR_TABLES) > _NEIGHBOR_TABLE_CACHE_SIZE:
+        _NEIGHBOR_TABLES.popitem(last=False)
+    return table
 
 
 # ---------------------------------------------------------------------------

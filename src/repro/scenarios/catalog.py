@@ -1,6 +1,6 @@
 """The shipped scenario catalog: named failure hypotheses, budgeted.
 
-Five resilience stories the paper's statelessness claim must survive,
+Six resilience stories the paper's statelessness claim must survive,
 each a frozen :class:`~repro.scenarios.spec.ScenarioSpec` with a
 committed golden artifact under ``artifacts/scenarios/``:
 
@@ -18,7 +18,10 @@ committed golden artifact under ``artifacts/scenarios/``:
 * **link-weather** -- aggressive Gilbert-Elliott ISL bursts plus decay
   churn shred the mesh around the population;
 * **urban-hotspot** -- a dense metropolitan D2D cluster under a
-  regional jammer and a serving-satellite storm.
+  regional jammer and a serving-satellite storm;
+* **routing-survival** -- permanent decay churn, then a seeded bulk
+  packet wave probes the surviving +Grid through the batch routing
+  plane (the stateless data plane's half of the story).
 
 Budgets are deliberately tight-but-clearing: each scenario passes its
 SLOs with measured headroom, so a regression anywhere in the recovery
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..experiments.chaos_availability import PacketProbeSpec
 from .slo import SLOBudget
 from .spec import ChaosSpec, PopulationSpec, ScenarioSpec
 
@@ -151,6 +155,28 @@ CATALOG: Dict[str, ScenarioSpec] = {
                           max_lost_sessions=2,
                           survival_margin_floor=0.0),
             n_trials=2,
+        ),
+        ScenarioSpec(
+            name="routing-survival",
+            title="Bulk routability of the grid the churn leaves behind",
+            description=(
+                "Decay churn kills satellites around the population for "
+                "half an hour, then a seeded bulk packet wave probes the "
+                "surviving +Grid through the batch routing plane: the "
+                "stateless data plane must keep delivering (via scalar "
+                "deflection fallbacks where the walk hits dead links) "
+                "even as the session plane is recovering."),
+            horizon_s=1800.0,
+            population=PopulationSpec(n_ues=12),
+            chaos=ChaosSpec(decay_acceleration=5.0e5,
+                            repair_delay_s=None),
+            slo=SLOBudget(availability_floor=0.9,
+                          p99_latency_ceiling_s=20.0,
+                          retry_budget_attempts=2.0,
+                          max_lost_sessions=2,
+                          survival_margin_floor=0.0),
+            n_trials=2,
+            packet_probe=PacketProbeSpec(packets=512),
         ),
     )
 }

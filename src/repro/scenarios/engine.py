@@ -146,7 +146,8 @@ def _scenario_trial(work) -> Dict:
         constellation=constellation, scenario=trial_scenario,
         metrics=metrics,
         schedule_builder=lambda system, ues, scn: build_schedule(
-            spec, system, ues, scn))
+            spec, system, ues, scn),
+        packet_probe=spec.packet_probe)
 
     fault_kinds: Dict[str, int] = {}
     for key in result.fault_log:
@@ -157,7 +158,7 @@ def _scenario_trial(work) -> Dict:
     recovery_attempts = [key[3] for key in result.spacecore_outcomes
                          if key[0] == "recovery" and key[5]]
 
-    return {
+    payload = {
         "trial": trial,
         "seed": seed,
         "final_survival": {
@@ -183,6 +184,11 @@ def _scenario_trial(work) -> Dict:
         },
         "snapshot": metrics.snapshot(),
     }
+    # Conditional so probe-free scenarios (every committed golden)
+    # keep their artifact bytes.
+    if result.packet_probe is not None:
+        payload["packet_probe"] = result.packet_probe
+    return payload
 
 
 @dataclass

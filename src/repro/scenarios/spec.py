@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
-from ..experiments.chaos_availability import ChaosScenario
+from ..experiments.chaos_availability import ChaosScenario, PacketProbeSpec
 from .slo import SLOBudget
 
 
@@ -127,6 +127,11 @@ class ScenarioSpec:
     slo: SLOBudget = field(default_factory=SLOBudget)
     n_trials: int = 2
     base_seed: int = 0
+    #: Optional post-churn routability probe: a seeded bulk packet
+    #: wave through the batch routing plane over whatever topology the
+    #: fault schedule left standing.  ``None`` (the default) keeps the
+    #: trial payload -- and every committed golden -- byte-identical.
+    packet_probe: Optional[PacketProbeSpec] = None
 
     def __post_init__(self):
         if not self.name or any(c.isspace() for c in self.name):
@@ -162,6 +167,14 @@ class ScenarioSpec:
         """The spec echo embedded in artifacts (pure data, sortable)."""
         chaos = {f.name: getattr(self.chaos, f.name)
                  for f in fields(self.chaos)}
+        payload = self._base_describe(chaos)
+        if self.packet_probe is not None:
+            payload["packet_probe"] = {
+                f.name: getattr(self.packet_probe, f.name)
+                for f in fields(self.packet_probe)}
+        return payload
+
+    def _base_describe(self, chaos: Dict) -> Dict:
         return {
             "name": self.name,
             "title": self.title,

@@ -9,7 +9,8 @@ time (a ground-space link).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import weakref
+from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -47,6 +48,11 @@ class GridTopology:
         #: liveness-dependent caches (e.g. DijkstraRouter graphs) can
         #: key on it.  Pure-geometry snapshots never depend on it.
         self._fault_epoch = 0
+        #: Weak references to zero-argument callbacks fired after every
+        #: fault-epoch bump; routers register their ``invalidate`` here
+        #: so liveness caches are dropped the moment chaos injection
+        #: changes the topology (not merely aged out by key mismatch).
+        self._fault_listeners: List[weakref.ref] = []
 
     # -- failure injection ---------------------------------------------------
 
@@ -54,6 +60,32 @@ class GridTopology:
     def fault_epoch(self) -> int:
         """Version of the failure state; changes invalidate liveness caches."""
         return self._fault_epoch
+
+    def add_fault_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after every failure-state change.
+
+        Held weakly (``WeakMethod`` for bound methods), so registering
+        a router's ``invalidate`` does not keep the router alive; dead
+        references are pruned on notification.
+        """
+        ref: weakref.ref
+        if hasattr(listener, "__self__"):
+            ref = weakref.WeakMethod(listener)  # type: ignore[arg-type]
+        else:
+            ref = weakref.ref(listener)
+        self._fault_listeners.append(ref)
+
+    def _bump_fault_epoch(self) -> None:
+        self._fault_epoch += 1
+        if not self._fault_listeners:
+            return
+        live = []
+        for ref in self._fault_listeners:
+            callback = ref()
+            if callback is not None:
+                live.append(ref)
+                callback()
+        self._fault_listeners = live
 
     def fail_satellite(self, sat: int) -> None:
         """Remove a satellite (radiation/debris failure, S3.3).
@@ -63,27 +95,27 @@ class GridTopology:
         """
         if sat not in self._failed_sats:
             self._failed_sats.add(sat)
-            self._fault_epoch += 1
+            self._bump_fault_epoch()
 
     def recover_satellite(self, sat: int) -> None:
         """Bring a failed satellite back into the topology."""
         if sat in self._failed_sats:
             self._failed_sats.discard(sat)
-            self._fault_epoch += 1
+            self._bump_fault_epoch()
 
     def fail_isl(self, sat_a: int, sat_b: int) -> None:
         """Take one ISL down (laser misalignment, S3.3). Idempotent."""
         key = frozenset((sat_a, sat_b))
         if key not in self._failed_isls:
             self._failed_isls.add(key)
-            self._fault_epoch += 1
+            self._bump_fault_epoch()
 
     def recover_isl(self, sat_a: int, sat_b: int) -> None:
         """Restore a failed inter-satellite link. Idempotent."""
         key = frozenset((sat_a, sat_b))
         if key in self._failed_isls:
             self._failed_isls.discard(key)
-            self._fault_epoch += 1
+            self._bump_fault_epoch()
 
     def fail_ground_station(self, station: int) -> None:
         """Take one ground station offline (regional outage). Idempotent."""
@@ -91,13 +123,26 @@ class GridTopology:
             raise ValueError(f"no ground station with index {station}")
         if station not in self._failed_stations:
             self._failed_stations.add(station)
-            self._fault_epoch += 1
+            self._bump_fault_epoch()
 
     def recover_ground_station(self, station: int) -> None:
         """Bring a downed ground station back. Idempotent."""
         if station in self._failed_stations:
             self._failed_stations.discard(station)
-            self._fault_epoch += 1
+            self._bump_fault_epoch()
+
+    def failed_satellites(self) -> FrozenSet[int]:
+        """The currently-failed satellite set (immutable view)."""
+        return frozenset(self._failed_sats)
+
+    def failed_isls(self) -> FrozenSet[FrozenSet[int]]:
+        """The currently-marked-failed ISL set (immutable view)."""
+        return frozenset(self._failed_isls)
+
+    @property
+    def has_topology_faults(self) -> bool:
+        """Whether any satellite or ISL failure mark is active."""
+        return bool(self._failed_sats or self._failed_isls)
 
     def ground_station_up(self, station: int) -> bool:
         """Whether the ground station at this index is online."""

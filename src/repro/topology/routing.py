@@ -17,11 +17,13 @@ of state SpaceCore wants satellites not to carry.
 from __future__ import annotations
 
 import math
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..constants import SPEED_OF_LIGHT_KM_S
 from ..orbits.coordinates import (
@@ -30,8 +32,67 @@ from ..orbits.coordinates import (
     wrap_signed,
 )
 from ..orbits.coverage import coverage_half_angle
-from ..orbits.snapshot import ConstellationSnapshot, snapshot_for
+from ..orbits.snapshot import (
+    ConstellationSnapshot,
+    grid_neighbor_table,
+    snapshot_for,
+)
 from .grid import GridTopology
+
+#: Sentinel distinguishing "scipy import not yet attempted" from "scipy
+#: absent" in the memo below.
+_SCIPY_UNRESOLVED = object()
+_scipy_csgraph = _SCIPY_UNRESOLVED
+
+
+def load_scipy_csgraph():
+    """scipy's ``(csr_matrix, dijkstra)`` pair, or ``None``.
+
+    ``None`` means scipy is not installed (it is an optional ``perf``
+    extra) or the user opted out with ``REPRO_NO_SCIPY=1``; callers
+    fall back to the networkx per-pair path.  The import outcome is
+    memoised; the environment gate is re-read per call so tests can
+    exercise both engines in one process.
+    """
+    global _scipy_csgraph
+    if os.environ.get("REPRO_NO_SCIPY"):
+        return None
+    if _scipy_csgraph is _SCIPY_UNRESOLVED:
+        try:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import dijkstra
+            _scipy_csgraph = (csr_matrix, dijkstra)
+        except ImportError:
+            _scipy_csgraph = None
+    return _scipy_csgraph
+
+
+def grid_edge_liveness(topology: GridTopology,
+                       neighbors: np.ndarray) -> np.ndarray:
+    """``(N, 4)`` liveness of every +Grid edge under current faults.
+
+    ``neighbors`` is the :func:`grid_neighbor_table` of the topology's
+    constellation; entry ``[s, d]`` is True when both endpoints of the
+    edge from ``s`` in direction ``d`` are alive and the ISL carries
+    no failure mark.  Shared by the batch router's next-hop tables and
+    the Dijkstra baseline's sparse adjacency.
+    """
+    total = topology.constellation.total_satellites
+    sat_up = np.ones(total, dtype=bool)
+    failed_sats = topology.failed_satellites()
+    if failed_sats:
+        sat_up[sorted(failed_sats)] = False
+    edge_up = sat_up[:, None] & sat_up[neighbors]
+    for link in topology.failed_isls():
+        pair = sorted(link)
+        if len(pair) != 2:
+            continue
+        a, b = pair
+        if not (0 <= a < total and 0 <= b < total):
+            continue
+        edge_up[a, neighbors[a] == b] = False
+        edge_up[b, neighbors[b] == a] = False
+    return edge_up
 
 
 @dataclass
@@ -264,10 +325,19 @@ class GeospatialRouter:
 class DijkstraRouter:
     """Stateful shortest-path baseline over a topology snapshot.
 
-    Graphs are kept in a bounded LRU keyed by ``t`` so workloads that
-    alternate between a handful of timesteps (e.g. ideal-vs-J4 sweeps
-    interleaving the same sample epochs) stop rebuilding the same
-    snapshot graph on every switch.
+    Graphs are kept in a bounded LRU keyed by ``(t, fault_epoch)`` so
+    workloads that alternate between a handful of timesteps (e.g.
+    ideal-vs-J4 sweeps interleaving the same sample epochs) stop
+    rebuilding the same snapshot graph on every switch.  The router
+    also registers as a fault listener: any failure-state change
+    actively drops every cached graph/adjacency, so chaos scenarios
+    can neither read stale liveness nor pin dead-epoch graphs in
+    memory until they age out of the LRU.
+
+    :meth:`route_many` answers whole source/destination batches at
+    once through ``scipy.sparse.csgraph.dijkstra`` over the +Grid
+    adjacency (one multi-source run per unique source); without scipy
+    (an optional extra) it degrades to the per-pair networkx walk.
     """
 
     def __init__(self, topology: GridTopology, cache_size: int = 16):
@@ -275,10 +345,16 @@ class DijkstraRouter:
         self._cache_size = max(1, cache_size)
         self._graph_cache: "OrderedDict[Tuple[float, int], nx.Graph]" = (
             OrderedDict())
+        #: (t, fault_epoch) -> (csr delay-weighted adjacency,
+        #: neighbor table, per-edge km, per-edge liveness or None).
+        self._matrix_cache: "OrderedDict[Tuple[float, int], tuple]" = (
+            OrderedDict())
+        topology.add_fault_listener(self.invalidate)
 
     def invalidate(self) -> None:
-        """Drop every cached graph."""
+        """Drop every cached graph (fault listeners call this)."""
         self._graph_cache.clear()
+        self._matrix_cache.clear()
 
     def _graph(self, t: float) -> nx.Graph:
         # Keyed by (t, fault epoch): a graph embeds liveness, so any
@@ -311,6 +387,94 @@ class DijkstraRouter:
             delay += graph[a][b]["weight"]
             distance += graph[a][b]["distance_km"]
         return RouteResult(True, list(path), delay, distance)
+
+    # -- batched shortest paths ------------------------------------------------
+
+    def _adjacency(self, t: float) -> tuple:
+        """Sparse +Grid adjacency (delay-weighted) for one epoch."""
+        key = (float(t), self.topology.fault_epoch)
+        cached = self._matrix_cache.get(key)
+        if cached is not None:
+            self._matrix_cache.move_to_end(key)
+            return cached
+        loaded = load_scipy_csgraph()
+        assert loaded is not None  # callers gate on load_scipy_csgraph
+        csr_matrix, _ = loaded
+        c = self.topology.constellation
+        total = c.total_satellites
+        snapshot = snapshot_for(self.topology.propagator, t)
+        neighbors = grid_neighbor_table(c)
+        hop_km = snapshot.hop_lengths_km()
+        if self.topology.has_topology_faults:
+            edge_up = grid_edge_liveness(self.topology, neighbors)
+            live = edge_up.ravel()
+        else:
+            edge_up = None
+            live = slice(None)
+        rows = np.repeat(np.arange(total), neighbors.shape[1])[live]
+        cols = neighbors.ravel()[live]
+        weights = (hop_km / SPEED_OF_LIGHT_KM_S).ravel()[live]
+        matrix = csr_matrix((weights, (rows, cols)),
+                            shape=(total, total))
+        entry = (matrix, neighbors, hop_km, edge_up)
+        self._matrix_cache[key] = entry
+        while len(self._matrix_cache) > self._cache_size:
+            self._matrix_cache.popitem(last=False)
+        return entry
+
+    def route_many(self, src_sats: Sequence[int],
+                   dst_sats: Sequence[int], t: float) -> List[RouteResult]:
+        """Shortest paths for ``(src, dst)`` satellite pairs in bulk.
+
+        With scipy available this runs one multi-source
+        ``csgraph.dijkstra`` per unique source over the sparse +Grid
+        adjacency and reconstructs each pair's path from the
+        predecessor matrix; pairs sharing a source share the search.
+        Delays/distances match the per-pair networkx :meth:`route`
+        (same edge weights); tie-broken equal-delay paths may differ
+        node-for-node, as with any shortest-path implementation.
+        """
+        srcs = [int(s) for s in src_sats]
+        dsts = [int(d) for d in dst_sats]
+        if len(srcs) != len(dsts):
+            raise ValueError("src/dst sequences must have equal length")
+        if not srcs:
+            return []
+        if load_scipy_csgraph() is None:
+            return [self.route(s, d, t) for s, d in zip(srcs, dsts)]
+        _, dijkstra = load_scipy_csgraph()
+        matrix, neighbors, hop_km, edge_up = self._adjacency(t)
+        total = matrix.shape[0]
+        failed = self.topology.failed_satellites()
+        unique = sorted({s for s in srcs if 0 <= s < total})
+        index_of = {s: k for k, s in enumerate(unique)}
+        if unique:
+            dist, pred = dijkstra(matrix, directed=True,
+                                  indices=unique,
+                                  return_predecessors=True)
+        results: List[RouteResult] = []
+        for s, d in zip(srcs, dsts):
+            if (s not in index_of or not 0 <= d < total
+                    or s in failed or d in failed):
+                results.append(RouteResult(False))
+                continue
+            row = index_of[s]
+            if not np.isfinite(dist[row, d]):
+                results.append(RouteResult(False))
+                continue
+            path = [d]
+            node = d
+            while node != s:
+                node = int(pred[row, node])
+                path.append(node)
+            path.reverse()
+            distance = 0.0
+            for a, b in zip(path, path[1:]):
+                hops = hop_km[a][neighbors[a] == b]
+                distance += float(hops[0])
+            results.append(RouteResult(True, path,
+                                       float(dist[row, d]), distance))
+        return results
 
 
 def path_stretch(geo: RouteResult, baseline: RouteResult) -> float:

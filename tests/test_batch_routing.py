@@ -1,0 +1,337 @@
+"""Batch routing plane: bit-exact equivalence with the scalar walk.
+
+The contract under test is absolute, not approximate: for every
+packet, :meth:`~repro.topology.batch_routing.BatchGeoRouter.route_batch`
+must reproduce the scalar :class:`~repro.topology.routing.GeospatialRouter`
+walk *bit for bit* -- same delivered/degraded verdicts, same hop
+sequence, and floating-point-identical delay and distance sums --
+across healthy grids, coverage-edge destinations, and fault cocktails,
+with and without the compiled C kernel.  Any `==` here is deliberate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.constellation import Constellation, starlink
+from repro.orbits.propagator import make_propagator
+from repro.orbits.snapshot import snapshot_for
+from repro.topology._walk_kernel import load_kernel
+from repro.topology.batch_routing import BatchGeoRouter, batch_route_pairs
+from repro.topology.grid import GridTopology
+from repro.topology.routing import (
+    DijkstraRouter,
+    GeospatialRouter,
+    load_scipy_csgraph,
+    path_stretch,
+)
+
+#: Constellation zoo: a Table-1 shell plus synthetic grids chosen to
+#: stress the seam cases (full torus vs pi-spread, small planes).
+CONSTELLATIONS = {
+    "starlink": starlink,
+    "square": lambda: Constellation(
+        name="square", num_planes=12, sats_per_plane=12,
+        altitude_km=550.0, inclination_deg=53.0),
+    "tall": lambda: Constellation(
+        name="tall", num_planes=6, sats_per_plane=18,
+        altitude_km=780.0, inclination_deg=86.4,
+        raan_spread=np.pi),
+    "wide": lambda: Constellation(
+        name="wide", num_planes=18, sats_per_plane=6,
+        altitude_km=1200.0, inclination_deg=87.9,
+        raan_spread=np.pi),
+}
+
+_KERNEL_AVAILABLE = load_kernel() is not None
+
+#: Both execution paths of the batch plane must match the scalar
+#: reference; the kernel variant only runs where a C compiler exists.
+KERNEL_MODES = ([False, True] if _KERNEL_AVAILABLE else [False])
+
+
+def _topology(name):
+    constellation = CONSTELLATIONS[name]()
+    return GridTopology(make_propagator(constellation, "ideal"), [])
+
+
+def _wave(constellation, packets, seed, lat_slack=0.02):
+    rng = np.random.default_rng(seed)
+    band = math.radians(min(constellation.inclination_deg,
+                            180.0 - constellation.inclination_deg))
+    band = band - lat_slack
+    src = rng.integers(0, constellation.total_satellites, packets)
+    lats = rng.uniform(-band, band, packets)
+    lons = rng.uniform(-math.pi, math.pi, packets)
+    return src, lats, lons
+
+
+def assert_bit_equal(batch, scalar_router, src, lats, lons, t,
+                     avoid_links=None):
+    """Every packet of the batch must equal the scalar walk exactly."""
+    for i in range(len(src)):
+        expected = scalar_router.route(int(src[i]), float(lats[i]),
+                                       float(lons[i]), t,
+                                       avoid_links=avoid_links)
+        assert bool(batch.delivered[i]) == expected.delivered, i
+        assert bool(batch.degraded[i]) == expected.degraded, i
+        assert float(batch.delay_s[i]) == expected.delay_s, i
+        assert float(batch.distance_km[i]) == expected.distance_km, i
+        assert batch.path(i) == expected.path, i
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("use_kernel", KERNEL_MODES)
+    @pytest.mark.parametrize("name", sorted(CONSTELLATIONS))
+    def test_random_waves_healthy(self, name, use_kernel):
+        topo = _topology(name)
+        router = BatchGeoRouter(topo, use_kernel=use_kernel)
+        src, lats, lons = _wave(topo.constellation, 160, seed=7)
+        batch = router.route_batch(src, lats, lons, 120.0)
+        assert_bit_equal(batch, router.scalar, src, lats, lons, 120.0)
+
+    @pytest.mark.parametrize("use_kernel", KERNEL_MODES)
+    def test_coverage_edge_destinations(self, use_kernel):
+        """Destinations nudged across the coverage boundary.
+
+        The batch plane screens coverage with a dot product inside a
+        guard band and re-tests exactly near the edge; these
+        destinations sit fractions of a microradian on either side of
+        delivery, where any screening sloppiness would flip verdicts.
+        """
+        topo = _topology("starlink")
+        router = BatchGeoRouter(topo, use_kernel=use_kernel)
+        theta = router.scalar.coverage_angle
+        snap = snapshot_for(topo.propagator, 60.0)
+        rng = np.random.default_rng(13)
+        sats = rng.integers(0, topo.constellation.total_satellites, 64)
+        lats, lons, srcs = [], [], []
+        for k, sat in enumerate(sats):
+            slat, slon = snap.subpoints[sat]
+            for eps in (-1e-7, -1e-10, 0.0, 1e-10, 1e-7):
+                lat = slat + (theta + eps) * (1 if k % 2 else -1)
+                if abs(lat) > math.radians(88.0):
+                    continue
+                lats.append(lat)
+                lons.append(slon)
+                srcs.append(int(sats[(k + 7) % len(sats)]))
+        src = np.asarray(srcs, dtype=np.int64)
+        lats = np.asarray(lats)
+        lons = np.asarray(lons)
+        batch = router.route_batch(src, lats, lons, 60.0)
+        assert_bit_equal(batch, router.scalar, src, lats, lons, 60.0)
+
+    @pytest.mark.parametrize("use_kernel", KERNEL_MODES)
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fault_cocktail(self, seed, use_kernel):
+        """Dead satellites + torn ISLs: the deflection path must match."""
+        topo = _topology("starlink")
+        rng = np.random.default_rng(seed)
+        for sat in rng.choice(topo.constellation.total_satellites, 40,
+                              replace=False):
+            topo.fail_satellite(int(sat))
+        for _ in range(25):
+            a = int(rng.integers(0, topo.constellation.total_satellites))
+            for b in topo.isl_neighbors(a)[:2]:
+                topo.fail_isl(a, b)
+        router = BatchGeoRouter(topo, use_kernel=use_kernel)
+        src, lats, lons = _wave(topo.constellation, 120, seed=seed + 50)
+        batch = router.route_batch(src, lats, lons, 90.0)
+        assert_bit_equal(batch, router.scalar, src, lats, lons, 90.0)
+
+    @pytest.mark.parametrize("use_kernel", KERNEL_MODES)
+    def test_avoid_links_matches_scalar(self, use_kernel):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo, use_kernel=use_kernel)
+        src, lats, lons = _wave(topo.constellation, 40, seed=3)
+        avoid = set()
+        for sat in (0, 5, 17):
+            for nbr in topo.isl_neighbors(sat)[:2]:
+                avoid.add(frozenset((sat, nbr)))
+        batch = router.route_batch(src, lats, lons, 30.0,
+                                   avoid_links=avoid)
+        assert_bit_equal(batch, router.scalar, src, lats, lons, 30.0,
+                         avoid_links=avoid)
+
+    def test_kernel_and_numpy_paths_agree(self):
+        """The two batch implementations are themselves bit-identical."""
+        if not _KERNEL_AVAILABLE:
+            pytest.skip("no C compiler on this host")
+        topo = _topology("starlink")
+        with_k = BatchGeoRouter(topo, use_kernel=True)
+        without = BatchGeoRouter(topo, use_kernel=False)
+        src, lats, lons = _wave(topo.constellation, 300, seed=21)
+        a = with_k.route_batch(src, lats, lons, 300.0)
+        b = without.route_batch(src, lats, lons, 300.0)
+        assert np.array_equal(a.delivered, b.delivered)
+        assert np.array_equal(a.degraded, b.degraded)
+        assert np.array_equal(a.delay_s, b.delay_s)
+        assert np.array_equal(a.distance_km, b.distance_km)
+        assert [a.path(i) for i in range(len(a))] \
+            == [b.path(i) for i in range(len(b))]
+
+    def test_path_stretch_identical_through_batch_plane(self):
+        """path_stretch computed from batch results == from scalar."""
+        topo = _topology("starlink")
+        router = BatchGeoRouter(topo)
+        base = DijkstraRouter(topo)
+        snap = snapshot_for(topo.propagator, 0.0)
+        src, lats, lons = _wave(topo.constellation, 24, seed=5,
+                                lat_slack=0.05)
+        dsts = [snap.serving_satellite(float(la), float(lo))
+                for la, lo in zip(lats, lons)]
+        keep = [k for k, d in enumerate(dsts) if d >= 0]
+        batch = router.route_batch(src[keep], lats[keep], lons[keep],
+                                   0.0)
+        checked = 0
+        for i, k in enumerate(keep):
+            scalar = router.scalar.route(int(src[k]), float(lats[k]),
+                                         float(lons[k]), 0.0)
+            baseline = base.route(int(src[k]), dsts[k], 0.0)
+            if not (scalar.delivered and baseline.delivered
+                    and baseline.delay_s > 0):
+                continue
+            assert (path_stretch(batch.result(i), baseline)
+                    == path_stretch(scalar, baseline))
+            checked += 1
+        assert checked > 0
+
+
+class TestBatchRouterMechanics:
+    def test_chunked_equals_single_batch(self):
+        topo = _topology("square")
+        small = BatchGeoRouter(topo, chunk_size=32)
+        big = BatchGeoRouter(topo)
+        src, lats, lons = _wave(topo.constellation, 101, seed=9)
+        a = small.route_batch(src, lats, lons, 10.0)
+        b = big.route_batch(src, lats, lons, 10.0)
+        assert np.array_equal(a.delay_s, b.delay_s)
+        assert [a.path(i) for i in range(len(a))] \
+            == [b.path(i) for i in range(len(b))]
+
+    def test_path_buffer_is_minus_one_padded(self):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo)
+        src, lats, lons = _wave(topo.constellation, 32, seed=2)
+        batch = router.route_batch(src, lats, lons, 0.0)
+        buffer = batch.path_buffer
+        for i in range(len(batch)):
+            n = int(batch.path_len[i])
+            assert np.all(buffer[i, n:] == -1)
+            assert list(buffer[i, :n]) == batch.path(i)
+
+    def test_table_cache_invalidated_by_fault_events(self):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo)
+        src, lats, lons = _wave(topo.constellation, 8, seed=4)
+        before = router.route_batch(src, lats, lons, 0.0)
+        victim = max((p for i in range(len(before))
+                      for p in before.path(i)[:-1]),
+                     key=lambda s: sum(s in before.path(i)
+                                       for i in range(len(before))))
+        # No manual invalidate: the fault listener must drop the
+        # epoch-keyed table so the next batch sees the dead satellite.
+        topo.fail_satellite(victim)
+        after = router.route_batch(src, lats, lons, 0.0)
+        assert_bit_equal(after, router.scalar, src, lats, lons, 0.0)
+        for i in range(len(after)):
+            assert victim not in after.path(i)[1:]
+
+    def test_routing_metrics_counters(self):
+        from repro.obs.metrics import MetricsRegistry, merge_snapshots
+        topo = _topology("square")
+
+        def run():
+            metrics = MetricsRegistry()
+            router = BatchGeoRouter(topo, metrics=metrics)
+            src, lats, lons = _wave(topo.constellation, 48, seed=6)
+            router.route_batch(src, lats, lons, 0.0)
+            router.route_batch(src, lats, lons, 0.0)
+            return metrics.snapshot()
+
+        snap = run()
+        counters = snap["counters"]
+        assert counters["routing.batches"] == 2
+        assert counters["routing.packets{plane=batch}"] == 96
+        # The table is built once; the second batch hits the cache.
+        assert counters["routing.table_builds"] == 1
+        # Deterministic merge: two identical runs fold to doubled counts.
+        merged = merge_snapshots([snap, run()])
+        assert merged["counters"]["routing.batches"] == 4
+
+    def test_batch_route_pairs_convenience(self):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo)
+        src, lats, lons = _wave(topo.constellation, 5, seed=8)
+        pairs = [(int(s), float(la), float(lo))
+                 for s, la, lo in zip(src, lats, lons)]
+        results = batch_route_pairs(router, pairs, 0.0)
+        for result, (s, la, lo) in zip(results, pairs):
+            expected = router.scalar.route(s, la, lo, 0.0)
+            assert result.delivered == expected.delivered
+            assert result.delay_s == expected.delay_s
+            assert result.path == expected.path
+        assert batch_route_pairs(router, [], 0.0) == []
+
+    def test_scalar_route_delegates(self):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo)
+        reference = GeospatialRouter(topo)
+        result = router.route(3, 0.1, 0.2, 0.0)
+        expected = reference.route(3, 0.1, 0.2, 0.0)
+        assert result.path == expected.path
+        assert result.delay_s == expected.delay_s
+
+    def test_rejects_mismatched_lengths(self):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo)
+        with pytest.raises(ValueError):
+            router.route_batch([0, 1], [0.0], [0.0, 0.0], 0.0)
+
+    def test_rejects_out_of_range_source(self):
+        topo = _topology("square")
+        router = BatchGeoRouter(topo)
+        with pytest.raises(ValueError):
+            router.route_batch([10_000], [0.0], [0.0], 0.0)
+
+
+class TestDijkstraBatchAndInvalidation:
+    def test_route_cache_invalidated_by_fault_events(self):
+        """Regression: cached graphs must not survive fault injection.
+
+        Before the fault-listener wiring, DijkstraRouter cached its
+        per-epoch graph and kept routing through satellites that had
+        since died unless callers remembered to invalidate() manually.
+        """
+        topo = _topology("square")
+        router = DijkstraRouter(topo)
+        first = router.route(0, 30, 0.0)
+        assert first.delivered and len(first.path) > 2
+        victim = first.path[1]
+        topo.fail_satellite(victim)
+        rerouted = router.route(0, 30, 0.0)
+        assert rerouted.delivered
+        assert victim not in rerouted.path
+
+    @pytest.mark.parametrize("no_scipy", [False, True])
+    def test_route_many_matches_scalar(self, no_scipy, monkeypatch):
+        if no_scipy:
+            monkeypatch.setenv("REPRO_NO_SCIPY", "1")
+        elif load_scipy_csgraph() is None:
+            pytest.skip("scipy not installed")
+        topo = _topology("square")
+        topo.fail_satellite(7)
+        topo.fail_isl(20, topo.isl_neighbors(20)[0])
+        router = DijkstraRouter(topo)
+        rng = np.random.default_rng(17)
+        total = topo.constellation.total_satellites
+        srcs = [int(s) for s in rng.integers(0, total, 30)]
+        dsts = [int(d) for d in rng.integers(0, total, 30)]
+        many = router.route_many(srcs, dsts, 45.0)
+        for result, s, d in zip(many, srcs, dsts):
+            single = router.route(s, d, 45.0)
+            assert result.delivered == single.delivered
+            if result.delivered:
+                assert abs(result.delay_s - single.delay_s) < 1e-12
+                assert len(result.path) == len(single.path)

@@ -111,3 +111,31 @@ class TestCli:
         assert code == 0
         assert "survival" in capsys.readouterr().out
         assert out.exists()
+
+
+class TestPacketProbe:
+    def test_probe_absent_by_default(self, small_result):
+        assert small_result.packet_probe is None
+        assert "packet_probe" not in small_result.to_json()
+
+    def test_probe_routes_the_post_churn_topology(self):
+        from repro.experiments.chaos_availability import PacketProbeSpec
+        probe = PacketProbeSpec(packets=96)
+        result = run_chaos_availability(
+            scenario=SMALL, packet_probe=probe)
+        payload = result.packet_probe
+        assert payload is not None
+        assert payload["packets"] == 96
+        assert payload["t_s"] == SMALL.horizon_s
+        assert 0 <= payload["delivered"] <= 96
+        assert result.to_json()["packet_probe"] == payload
+        # Same seed, same probe -> byte-stable payload (the golden
+        # contract the scenario engine relies on).
+        again = run_chaos_availability(scenario=SMALL,
+                                       packet_probe=probe)
+        assert again.packet_probe == payload
+
+    def test_probe_rejects_empty_wave(self):
+        from repro.experiments.chaos_availability import PacketProbeSpec
+        with pytest.raises(ValueError):
+            PacketProbeSpec(packets=0)

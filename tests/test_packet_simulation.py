@@ -166,3 +166,39 @@ class TestInjectionClamping:
         assert record.sent_at_s == 5.0
         assert record.delivered_at_s is not None
         assert record.delivered_at_s >= 5.0
+
+
+class TestBatchInjection:
+    def test_send_batch_matches_per_packet_sends(self, topology):
+        import numpy as np
+        rng = np.random.default_rng(3)
+        n = 64
+        total = topology.constellation.total_satellites
+        src = rng.integers(0, total, n)
+        lats = rng.uniform(-0.9, 0.9, n)
+        lons = rng.uniform(-math.pi, math.pi, n)
+
+        batch_sim = PacketSimulation(topology)
+        batch = batch_sim.send_batch(src, lats, lons)
+        batch_sim.run()
+
+        scalar_sim = PacketSimulation(topology)
+        scalar = [scalar_sim.send(int(s), float(la), float(lo))
+                  for s, la, lo in zip(src, lats, lons)]
+        scalar_sim.run()
+
+        assert len(batch) == n
+        for a, b in zip(batch, scalar):
+            assert a.dropped == b.dropped
+            assert a.delivered_at_s == b.delivered_at_s
+            assert a.hops == b.hops
+
+    def test_send_batch_counts_metrics(self, topology):
+        from repro.obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        sim = PacketSimulation(topology, metrics=metrics)
+        sim.send_batch([0, 1, 2], [0.1, 0.2, 0.3], [0.0, 0.1, 0.2])
+        sim.run()
+        counters = metrics.snapshot()["counters"]
+        assert counters["packet.sent"] == 3
+        assert counters["routing.batches"] == 1
