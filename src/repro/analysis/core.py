@@ -34,6 +34,7 @@ import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     List,
@@ -43,6 +44,10 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import CallGraph
+    from .effects import EffectAnalysis
 
 #: A function definition node, sync or async.
 FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
@@ -75,6 +80,9 @@ class Finding:
     message: str
     fingerprint: str = ""
     baselined: bool = False
+    #: Filled by the runner from the producing rule; not part of the
+    #: fingerprint, so re-tagging a rule never churns baselines.
+    severity: str = "error"
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping (the ``findings[]`` schema entry)."""
@@ -85,6 +93,7 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
             "baselined": self.baselined,
+            "severity": self.severity,
         }
 
     def sort_key(self) -> Tuple[str, int, str, str]:
@@ -180,7 +189,13 @@ class ModuleInfo:
 
 
 class ProjectContext:
-    """Facts collected over the whole analyzed file set (pass 1)."""
+    """Facts collected over the whole analyzed file set (pass 1).
+
+    The interprocedural layer (ISSUE 9) hangs off this object too:
+    :meth:`callgraph` and :meth:`effects` build the whole-program call
+    graph and its effect summaries lazily, once per analyzer run, and
+    every interprocedural rule shares the same instance.
+    """
 
     #: Immutable-by-contract classes that are not frozen dataclasses
     #: (arrays marked read-only, documented snapshot semantics).
@@ -190,11 +205,27 @@ class ProjectContext:
         self.root = root
         self.modules: List[ModuleInfo] = list(modules)
         self.frozen_classes: Set[str] = set(self.EXTRA_FROZEN_CLASSES)
+        self._callgraph: Optional["CallGraph"] = None
+        self._effects: Optional["EffectAnalysis"] = None
         for module in self.modules:
             for node in ast.walk(module.tree):
                 if (isinstance(node, ast.ClassDef)
                         and is_frozen_dataclass(node)):
                     self.frozen_classes.add(node.name)
+
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built on first use (cached)."""
+        if self._callgraph is None:
+            from .callgraph import build_callgraph
+            self._callgraph = build_callgraph(self.modules)
+        return self._callgraph
+
+    def effects(self) -> "EffectAnalysis":
+        """Whole-program effect summaries, built on first use."""
+        if self._effects is None:
+            from .effects import analyze_effects
+            self._effects = analyze_effects(self.callgraph())
+        return self._effects
 
 
 class Rule:
@@ -205,6 +236,14 @@ class Rule:
     id: str = ""
     family: str = ""
     description: str = ""
+    #: ``error`` findings are contract violations; ``warning`` marks
+    #: advisory hygiene rules.  Both fail the gate when new -- the tag
+    #: feeds triage in the JSON report, not the exit code.
+    severity: str = "error"
+    #: Whether ``# repro: ignore[...]`` can silence this rule.  The
+    #: suppression-hygiene rule itself is exempt, or a bare ignore
+    #: would hide its own finding.
+    suppressible: bool = True
     #: Path scope: ``"dir/"`` entries match a directory component,
     #: other entries match a path suffix.  Empty means every file.
     scope: Tuple[str, ...] = ()
@@ -380,6 +419,24 @@ def all_args(func: FuncDef) -> List[ast.arg]:
     """Positional-only + positional + keyword-only args, in order."""
     args = func.args
     return list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+
+
+def bound_names(func: FuncDef) -> Set[str]:
+    """Names bound locally in a function: parameters, assignment
+    targets, and nested def names.  A module-global read inside the
+    function is only a *global* read when its name is not in here."""
+    bound: Set[str] = {a.arg for a in all_args(func)}
+    if func.args.vararg:
+        bound.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        bound.add(func.args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func:
+            bound.add(node.name)
+    return bound
 
 
 def args_with_defaults(func: FuncDef

@@ -5,13 +5,14 @@ uploads it as an artifact so a failing gate can be diagnosed without
 re-running the analyzer::
 
     {
-      "version": 1,
+      "version": 2,
       "root": "<analysis root>",
       "files_checked": 103,
       "rules": ["cache-key-unhashable", ...],
       "findings": [
         {"rule": "...", "path": "...", "line": 1, "message": "...",
-         "fingerprint": "...", "baselined": false},
+         "fingerprint": "...", "baselined": false,
+         "severity": "error"},
         ...
       ],
       "stale_baseline": [<baseline entries that matched nothing>],
@@ -30,7 +31,8 @@ from typing import Dict, List, Sequence
 
 from .core import Finding
 
-JSON_SCHEMA_VERSION = 1
+#: v2 added per-finding ``severity`` (error | warning).
+JSON_SCHEMA_VERSION = 2
 
 
 def build_report(root: str, files_checked: int,

@@ -31,6 +31,7 @@ from .core import (
     Rule,
     annotation_source,
     args_with_defaults,
+    bound_names,
     dotted_name,
     is_mutable_container,
     iter_functions,
@@ -122,7 +123,7 @@ class CacheMutableGlobalRule(Rule):
             decorator = _memo_decorator(func, module)
             if decorator is None:
                 continue
-            local_names = self._bound_names(func)
+            local_names = bound_names(func)
             reported: Set[str] = set()
             for node in ast.walk(func):
                 if not (isinstance(node, ast.Name)
@@ -139,21 +140,3 @@ class CacheMutableGlobalRule(Rule):
                         f"mutable module global {name!r}; its value "
                         f"is outside the cache key -- pass it as a "
                         f"(hashable) parameter instead")
-
-    @staticmethod
-    def _bound_names(func: FuncDef) -> Set[str]:
-        """Names bound locally in the function (params + assignments)."""
-        bound: Set[str] = {a.arg for a, _ in args_with_defaults(func)}
-        if func.args.vararg:
-            bound.add(func.args.vararg.arg)
-        if func.args.kwarg:
-            bound.add(func.args.kwarg.arg)
-        for node in ast.walk(func):
-            if isinstance(node, ast.Name) and isinstance(
-                    node.ctx, ast.Store):
-                bound.add(node.id)
-            elif isinstance(node, (ast.FunctionDef,
-                                   ast.AsyncFunctionDef)) \
-                    and node is not func:
-                bound.add(node.name)
-        return bound

@@ -1,0 +1,414 @@
+"""Interprocedural rules over the whole-program effect summaries.
+
+Every rule here asks a question the file-local linter (ISSUE 4)
+cannot: the answer depends on the *transitive closure* of a function,
+not its body.  Each is a direct generalisation of a bug this repo
+actually shipped and later hand-fixed:
+
+* ``shard-purity`` -- the PR 5 wall-clock leak, as a contract: any
+  worker dispatched through ``runtime.parallel.run_sharded`` must be
+  transitively free of wall-clock reads, unseeded draws and mutable
+  module-global writes, or serial and sharded runs diverge;
+* ``stale-cache`` -- the PR 8 ``DijkstraRouter`` staleness bug, as a
+  rule: a cache keyed on ``GridTopology`` fault state must register
+  invalidation through ``add_fault_listener``;
+* ``unordered-iteration`` -- set iteration feeding a JSON/golden/merge
+  sink without ``sorted(...)`` bakes ``PYTHONHASHSEED`` into artifact
+  bytes;
+* ``float-reduction-order`` -- ``sum()`` over an unordered collection
+  in the merge/artifact layers makes float totals order-dependent;
+* ``listener-leak`` -- a listener registry holding strong references
+  pins routers (and their caches) alive forever; ``grid.py``'s
+  ``WeakMethod`` pattern is the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..runtime.memo import MEMO_DECORATOR_NAMES
+from .core import (
+    Finding,
+    FuncDef,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    call_name,
+    dotted_name,
+    tail_name,
+)
+from .effects import (
+    BUILDS_TOPOLOGY_KEYED_CACHE,
+    DRAWS_UNSEEDED_RNG,
+    EMITS_ARTIFACT,
+    ITERATES_UNORDERED,
+    MUTATES_MODULE_GLOBAL,
+    READS_WALLCLOCK,
+    REGISTERS_FAULT_LISTENER,
+    SHARD_IMPURE_EFFECTS,
+    EffectAnalysis,
+    _SetTracker,
+)
+from .registry import register
+
+#: Fan-out entry points whose first argument is a shard worker.
+SHARD_DISPATCHERS = frozenset({"run_sharded"})
+
+#: Parameter names/annotations marking a memo key as topology-derived.
+_TOPOLOGY_PARAM_NAMES = frozenset({"topology", "grid", "grid_topology"})
+_TOPOLOGY_ANNOTATION_TAILS = frozenset({"GridTopology"})
+
+_EFFECT_LABEL = {
+    READS_WALLCLOCK: "reads the wall clock",
+    DRAWS_UNSEEDED_RNG: "draws from unseeded RNG state",
+    MUTATES_MODULE_GLOBAL: "mutates a module global",
+}
+
+
+def _chain_text(effects: EffectAnalysis, node_id: str,
+                effect: str) -> str:
+    """``a -> b -> c (detail at path:line)`` for finding messages."""
+    path, occurrence = effects.chain(node_id, effect)
+    names = [p.rsplit(".", 1)[-1] + "()" for p in path]
+    text = " -> ".join(names)
+    if occurrence is not None:
+        text += (f" [{occurrence.detail} at "
+                 f"{occurrence.path}:{occurrence.line}]")
+    return text
+
+
+@register
+class ShardPurityRule(Rule):
+    """Workers dispatched through ``run_sharded`` must be shard-pure."""
+
+    id = "shard-purity"
+    family = "purity"
+    description = ("callables dispatched through run_sharded must be "
+                   "transitively free of wall-clock reads, unseeded "
+                   "RNG draws, and module-global mutation, or serial "
+                   "and sharded runs diverge (PR 3/PR 5 bug class)")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield impure workers at their dispatch sites."""
+        graph = project.callgraph()
+        effects = project.effects()
+        for fnode in graph.function_nodes_of(module):
+            for node in ast.walk(fnode.func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if tail_name(call_name(node, module)) \
+                        not in SHARD_DISPATCHERS:
+                    continue
+                if not node.args:
+                    continue
+                worker_expr = node.args[0]
+                targets = graph.resolve_callable_ref(worker_expr, fnode)
+                for target in sorted(targets):
+                    impure = sorted(effects.effects_of(target)
+                                    & SHARD_IMPURE_EFFECTS)
+                    for effect in impure:
+                        worker = target.rsplit(".", 1)[-1]
+                        yield module.finding(
+                            self.id, node,
+                            f"shard worker {worker}() {_EFFECT_LABEL[effect]} "
+                            f"(transitively): "
+                            f"{_chain_text(effects, target, effect)}; "
+                            f"sharded and serial runs will diverge")
+
+
+def _memo_decorated(func: FuncDef, module: ModuleInfo) -> Optional[str]:
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = tail_name(dotted_name(target, module))
+        if name in MEMO_DECORATOR_NAMES:
+            return name
+    return None
+
+
+@register
+class StaleCacheRule(Rule):
+    """Topology-keyed caches must register fault-listener invalidation."""
+
+    id = "stale-cache"
+    family = "cache-keys"
+    description = ("a cache keyed on GridTopology fault state "
+                   "(fault_epoch, failed_satellites, ...) must wire "
+                   "topology.add_fault_listener(invalidate) through "
+                   "itself, or chaos churn serves stale routes (the "
+                   "pre-PR-8 DijkstraRouter bug)")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield topology-keyed caches with no invalidation path."""
+        effects = project.effects()
+        for class_node in ast.walk(module.tree):
+            if isinstance(class_node, ast.ClassDef):
+                yield from self._check_class(
+                    module, project, class_node, effects)
+        # Memoized module-level functions cannot register a listener
+        # at all: a mutable topology in the key is always unsound.
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                decorator = _memo_decorated(node, module)
+                if decorator is None:
+                    continue
+                for arg, tail in _topology_params(node):
+                    yield module.finding(
+                        self.id, arg,
+                        f"@{decorator} function {node.name}() keys its "
+                        f"cache on mutable topology parameter "
+                        f"{arg.arg}{': ' + tail if tail else ''}; fault "
+                        f"injection mutates it in place with no "
+                        f"invalidation signal -- key on immutable "
+                        f"state (e.g. (t, fault_epoch)) inside a "
+                        f"listener-invalidated cache instead")
+
+    def _check_class(self, module: ModuleInfo, project: ProjectContext,
+                     class_node: ast.ClassDef,
+                     effects: EffectAnalysis) -> Iterable[Finding]:
+        method_ids = self._method_node_ids(module, project, class_node)
+        store = None
+        for node_id in method_ids:
+            if REGISTERS_FAULT_LISTENER in effects.effects_of(node_id):
+                return
+            if store is None:
+                for occurrence in effects.occurrences.get(node_id, []):
+                    if occurrence.effect == BUILDS_TOPOLOGY_KEYED_CACHE \
+                            and occurrence.detail.startswith("self."):
+                        store = occurrence
+                        break
+        if store is None:
+            return
+        attr = store.detail.split(".", 1)[1]
+        yield Finding(
+            rule=self.id, path=module.relpath, line=store.line,
+            message=(
+                f"{class_node.name}.{attr} caches results keyed on "
+                f"GridTopology fault state but no method reaches "
+                f"add_fault_listener; chaos fault injection will serve "
+                f"stale entries (the pre-PR-8 DijkstraRouter bug) -- "
+                f"register topology.add_fault_listener(self.invalidate) "
+                f"in __init__"))
+
+    @staticmethod
+    def _method_node_ids(module: ModuleInfo, project: ProjectContext,
+                         class_node: ast.ClassDef) -> List[str]:
+        graph = project.callgraph()
+        ids: List[str] = []
+        for item in class_node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                node_id = graph.node_for_def(item)
+                if node_id is not None:
+                    ids.append(node_id)
+        return ids
+
+
+def _topology_params(func: FuncDef) -> List[Tuple[ast.arg, str]]:
+    out: List[Tuple[ast.arg, str]] = []
+    for arg in (func.args.posonlyargs + func.args.args
+                + func.args.kwonlyargs):
+        tail = _annotation_tail_name(arg.annotation)
+        if arg.arg.lower() in _TOPOLOGY_PARAM_NAMES \
+                or tail in _TOPOLOGY_ANNOTATION_TAILS:
+            out.append((arg, tail))
+    return out
+
+
+def _annotation_tail_name(node: Optional[ast.expr]) -> str:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Unsorted set iteration must not feed serialized artifacts."""
+
+    id = "unordered-iteration"
+    family = "ordering"
+    severity = "warning"
+    description = ("iterating a set (or module-global dict view) "
+                   "without sorted(...) in a function that feeds a "
+                   "JSON/golden/merge sink bakes PYTHONHASHSEED into "
+                   "artifact bytes")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield unordered iterations on artifact-reaching paths."""
+        graph = project.callgraph()
+        effects = project.effects()
+        for fnode in graph.function_nodes_of(module):
+            occurrences = [
+                o for o in effects.occurrences.get(fnode.node_id, [])
+                if o.effect == ITERATES_UNORDERED]
+            if not occurrences:
+                continue
+            if EMITS_ARTIFACT not in effects.effects_of(fnode.node_id):
+                continue
+            sink = _chain_text(effects, fnode.node_id, EMITS_ARTIFACT)
+            for occurrence in occurrences:
+                yield Finding(
+                    rule=self.id, path=module.relpath,
+                    line=occurrence.line,
+                    message=(f"{fnode.name}() iterates unordered "
+                             f"{occurrence.detail} and feeds a "
+                             f"serialized artifact ({sink}); wrap the "
+                             f"iterable in sorted(...) to pin the "
+                             f"byte order"))
+
+
+@register
+class FloatReductionOrderRule(Rule):
+    """Float reductions over unordered collections in merge paths."""
+
+    id = "float-reduction-order"
+    family = "ordering"
+    severity = "warning"
+    description = ("sum()/fsum()/loop accumulation over a set or dict "
+                   "view in the obs/scenario/experiment merge layers "
+                   "is order-dependent in floating point; sort the "
+                   "iterable so shard count never changes totals")
+    scope = ("obs/", "scenarios/", "experiments/")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield order-dependent reductions in scoped merge code."""
+        graph = project.callgraph()
+        for fnode in graph.function_nodes_of(module):
+            tracker = _SetTracker(fnode, graph)
+            for node in ast.walk(fnode.func):
+                if isinstance(node, ast.Call):
+                    reduced = self._reduced_source(node, module, tracker)
+                    if reduced is not None:
+                        yield module.finding(
+                            self.id, node,
+                            f"{fnode.name}() reduces over unordered "
+                            f"{reduced}; float addition is not "
+                            f"associative -- iterate "
+                            f"sorted(...) so the total is "
+                            f"shard-count-invariant")
+                elif isinstance(node, ast.For) \
+                        and tracker.is_set_valued(node.iter) \
+                        and self._accumulates(node):
+                    yield module.finding(
+                        self.id, node.iter,
+                        f"{fnode.name}() accumulates across a "
+                        f"for-loop over a set-valued iterable; float "
+                        f"addition is not associative -- iterate "
+                        f"sorted(...) to pin the reduction order")
+
+    @staticmethod
+    def _reduced_source(call: ast.Call, module: ModuleInfo,
+                        tracker: _SetTracker) -> Optional[str]:
+        tail = tail_name(call_name(call, module))
+        if tail not in ("sum", "fsum") or not call.args:
+            return None
+        arg = call.args[0]
+        if tracker.is_set_valued(arg):
+            return "set-valued iterable"
+        if isinstance(arg, ast.Call) \
+                and isinstance(arg.func, ast.Attribute) \
+                and arg.func.attr in ("values", "items"):
+            return f"dict .{arg.func.attr}() view"
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            source = arg.generators[0].iter
+            if tracker.is_set_valued(source):
+                return "set-valued iterable"
+            if isinstance(source, ast.Call) \
+                    and isinstance(source.func, ast.Attribute) \
+                    and source.func.attr in ("values", "items"):
+                return f"dict .{source.func.attr}() view"
+        return None
+
+    @staticmethod
+    def _accumulates(loop: ast.For) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.AugAssign) \
+                    and isinstance(node.op, (ast.Add, ast.Mult)):
+                return True
+        return False
+
+
+@register
+class ListenerLeakRule(Rule):
+    """Listener registries must hold weak references (grid.py)."""
+
+    id = "listener-leak"
+    family = "lifecycle"
+    severity = "warning"
+    description = ("appending a callback into a *listener* registry "
+                   "without weakref.WeakMethod/weakref.ref pins every "
+                   "registrant (and its caches) alive for the "
+                   "registry's lifetime; use grid.py's WeakMethod "
+                   "pattern")
+
+    #: Registry attribute vocabulary.
+    _REGISTRY_WORDS = ("listener",)
+    #: Weakref constructor tails that make a registration safe.
+    _WEAK_TAILS = frozenset({"WeakMethod", "ref", "proxy", "WeakSet"})
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield strong registrations into listener collections."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            weak_locals = self._weak_locals(node, module)
+            for call in ast.walk(node):
+                if not (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in ("append", "add")
+                        and len(call.args) == 1):
+                    continue
+                receiver = self._receiver_name(call.func.value)
+                if receiver is None or not any(
+                        word in receiver.lower()
+                        for word in self._REGISTRY_WORDS):
+                    continue
+                if self._is_weak(call.args[0], module, weak_locals):
+                    continue
+                yield module.finding(
+                    self.id, call,
+                    f"{node.name}() appends a strong reference into "
+                    f"{receiver!r}; a listener registry must hold "
+                    f"weakref.WeakMethod (bound methods) or "
+                    f"weakref.ref so registrants can die (grid.py "
+                    f"pattern), and prune dead refs on notify")
+
+    @staticmethod
+    def _receiver_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _weak_locals(self, func: FuncDef,
+                     module: ModuleInfo) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and self._is_weak_call(node.value, module):
+                names.add(node.targets[0].id)
+        return names
+
+    def _is_weak(self, expr: ast.expr, module: ModuleInfo,
+                 weak_locals: Set[str]) -> bool:
+        if isinstance(expr, ast.Name) and expr.id in weak_locals:
+            return True
+        return self._is_weak_call(expr, module)
+
+    def _is_weak_call(self, expr: ast.expr, module: ModuleInfo) -> bool:
+        return (isinstance(expr, ast.Call)
+                and tail_name(call_name(expr, module))
+                in self._WEAK_TAILS)

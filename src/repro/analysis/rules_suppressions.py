@@ -1,0 +1,91 @@
+"""Suppression hygiene: every ``# repro: ignore`` must say why.
+
+An inline suppression is a reviewed exception to a determinism
+contract, and the justification *is* the review artifact: six months
+later the ``-- why`` clause is the only record of whether the
+exception still holds.  Two forms are accepted::
+
+    x = time.time()  # repro: ignore[wallclock-time] -- operator log only
+    y = foo()        # repro: ignore -- prototype, tracked in #123
+
+and two are findings: a bracketed ignore with no ``--`` trailer, and a
+bare ``# repro: ignore`` with neither rule list nor trailer (which
+silences *every* rule on the line with no record of intent).
+
+This rule sets ``suppressible = False``: a hygiene finding cannot be
+silenced by the very mechanism it audits.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterable, Iterator, Tuple
+
+from .core import Finding, ModuleInfo, ProjectContext, Rule
+from .registry import register
+
+#: A suppression *comment* (anchored: the comment must begin with the
+#: marker, so prose mentions in ``#:`` doc comments don't count), with
+#: optional rule list and trailer.
+_SUPPRESSION_RE = re.compile(
+    r"^#\s*repro:\s*ignore"
+    r"(?:\[(?P<rules>[A-Za-z0-9_\-, ]+)\])?"
+    r"(?P<trailer>.*)$")
+#: A justification trailer: ``-- <at least a few words of why>``.
+_WHY_RE = re.compile(r"^\s*--\s*\S+")
+
+
+def _comments(module: ModuleInfo) -> Iterator[Tuple[int, str]]:
+    """(line, text) of every comment token.  Tokenizing (rather than
+    line-scanning) keeps docstring prose that merely *mentions* the
+    suppression syntax from registering as a suppression."""
+    try:
+        tokens = tokenize.generate_tokens(
+            io.StringIO(module.source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+@register
+class BareSuppressionRule(Rule):
+    """Flag suppressions that carry no ``-- why`` justification."""
+
+    id = "bare-suppression"
+    family = "hygiene"
+    severity = "warning"
+    suppressible = False
+    description = ("every '# repro: ignore' must name the rules it "
+                   "waives and justify itself with '-- <why>'; an "
+                   "unexplained suppression is an unreviewed "
+                   "exception to a determinism contract")
+
+    def check(self, module: ModuleInfo,
+              project: ProjectContext) -> Iterable[Finding]:
+        """Yield suppression comments missing rules or justification."""
+        for lineno, comment in _comments(module):
+            match = _SUPPRESSION_RE.match(comment)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            has_why = bool(_WHY_RE.match(match.group("trailer")))
+            if rules is None and not has_why:
+                yield Finding(
+                    rule=self.id, path=module.relpath, line=lineno,
+                    message=("bare '# repro: ignore' silences every "
+                             "rule on this line with no record of "
+                             "which or why; use "
+                             "'# repro: ignore[rule] -- <why>'"))
+            elif not has_why:
+                named = ", ".join(
+                    sorted(r.strip() for r in rules.split(",")
+                           if r.strip()))
+                yield Finding(
+                    rule=self.id, path=module.relpath, line=lineno,
+                    message=(f"suppression of [{named}] has no "
+                             f"'-- <why>' justification; record the "
+                             f"reason the contract is waived here"))

@@ -342,6 +342,7 @@ def _cmd_lint(args) -> int:
         write_baseline=args.write_baseline,
         rule_ids=(args.rules.split(",") if args.rules else None),
         list_rules=args.list_rules,
+        graph_output=args.graph,
     )
 
 
@@ -567,6 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--rules", default=None,
                              help="comma-separated rule ids to run")
             sub.add_argument("--list-rules", action="store_true")
+            sub.add_argument("--graph", default=None, metavar="PATH",
+                             help="also export the resolved call "
+                                  "graph and per-function effect "
+                                  "summaries as JSON (CI uploads "
+                                  "this artifact)")
         if name == "scenario":
             sub.add_argument("action",
                              choices=("list", "run", "check", "diff"),

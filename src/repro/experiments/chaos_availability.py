@@ -257,12 +257,12 @@ def _place_ues(system: SpaceCoreSystem, scenario: ChaosScenario):
 # Compute-degradation latency coupling (hardware model made live)
 # ---------------------------------------------------------------------------
 
-_PENALTY_FLOWS: Dict[str, Tuple[list, frozenset]] = {}
+_PENALTY_FLOW_CACHE: Dict[str, Tuple[list, frozenset]] = {}
 
 
 def _penalty_flow(system_kind: str) -> Tuple[list, frozenset]:
     """(flow, on-board roles) whose processing a derating stretches."""
-    cached = _PENALTY_FLOWS.get(system_kind)
+    cached = _PENALTY_FLOW_CACHE.get(system_kind)
     if cached is None:
         from ..baselines.solutions import spacecore
         if system_kind == "spacecore":
@@ -273,7 +273,7 @@ def _penalty_flow(system_kind: str) -> Tuple[list, frozenset]:
             flow = (solution.flow(ProcedureKind.INITIAL_REGISTRATION)
                     + solution.flow(ProcedureKind.SESSION_ESTABLISHMENT))
         cached = (flow, solution.on_board)
-        _PENALTY_FLOWS[system_kind] = cached
+        _PENALTY_FLOW_CACHE[system_kind] = cached
     return cached
 
 

@@ -99,7 +99,7 @@ def _cached_mean_hops(constellation: Constellation,
         raise RuntimeError("no gateway has satellite coverage at t")
     distances = nx.multi_source_dijkstra_path_length(
         graph, sources, weight=None)
-    return sum(distances.values()) / len(distances)
+    return sum(distances.values()) / len(distances)  # repro: ignore[float-reduction-order] -- hop counts are ints (weight=None); integer sums are order-exact
 
 
 def mean_hops_to_ground(constellation: Constellation,

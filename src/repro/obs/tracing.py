@@ -71,7 +71,8 @@ class Tracer:
     silently wall-clocked).
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(self,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self._clock: Callable[[], float] = (
             clock if clock is not None else (lambda: 0.0))
         self.records: List[SpanRecord] = []

@@ -284,7 +284,7 @@ def snapshot_for(propagator: IdealPropagator,
     Geometry depends only on the propagator and the epoch -- never on
     failure injection -- so the cache needs no invalidation hooks.
     """
-    global _hits, _misses
+    global _hits, _misses  # repro: ignore[shard-purity] -- hit/miss stats are observability-only, never read by results
     key = (id(propagator), float(t))
     snap = _cache.get(key)
     if snap is not None and snap.propagator is propagator:
@@ -302,7 +302,7 @@ def snapshot_for(propagator: IdealPropagator,
 
 def clear_snapshot_cache() -> None:
     """Drop every cached snapshot (mainly for tests and benchmarks)."""
-    global _hits, _misses
+    global _hits, _misses  # repro: ignore[shard-purity] -- hit/miss stats are observability-only, never read by results
     _cache.clear()
     _hits = 0
     _misses = 0

@@ -20,14 +20,16 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.chaos_availability import (
     ChaosScenario,
     run_chaos_availability,
     serving_blast_radius,
 )
+from ..core import SpaceCoreSystem
 from ..faults.chaos import FaultSchedule
+from ..fiveg.ue import UserEquipment
 from ..obs import MetricsRegistry, merge_snapshots
 from ..orbits.constellation import by_name
 from ..runtime.parallel import get_shared, run_sharded, seed_for
@@ -49,7 +51,8 @@ def _central_angle(lat1: float, lon1: float,
     return math.acos(min(1.0, max(-1.0, cosine)))
 
 
-def build_schedule(spec: ScenarioSpec, system, ues,
+def build_schedule(spec: ScenarioSpec, system: SpaceCoreSystem,
+                   ues: Sequence[UserEquipment],
                    scenario: ChaosScenario) -> FaultSchedule:
     """Compose the spec's declared fault processes into one schedule.
 
@@ -130,7 +133,7 @@ def _fault_digest(fault_keys: List[Tuple]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _scenario_trial(work) -> Dict:
+def _scenario_trial(work: int) -> Dict:
     """One seeded scenario trial (module-level: workers unpickle it).
 
     The spec and pre-built constellation ship once per worker through

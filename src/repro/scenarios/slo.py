@@ -56,7 +56,7 @@ class SLOBudget:
     #: Relative headroom band; within it a passing check is "degraded".
     degraded_margin: float = 0.05
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.degraded_margin < 1.0:
             raise ValueError("degraded margin must be in [0, 1)")
 

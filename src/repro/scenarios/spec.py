@@ -37,7 +37,7 @@ class PopulationSpec:
     #: recovery churn -- where COMPUTE_DEGRADE events bite.
     compute_load_per_s: float = 150.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_ues < 1:
             raise ValueError("population needs at least one UE")
         if self.jitter_deg < 0:
@@ -83,7 +83,7 @@ class ChaosSpec:
     compute_factor: float = 1.0          # remaining capacity (1.0 = none)
     compute_fraction: float = 1.0        # fraction of serving satellites
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.decay_acceleration < 0:
             raise ValueError("decay acceleration cannot be negative")
         if not 0.0 <= self.gs_outage_fraction <= 1.0:
@@ -133,7 +133,7 @@ class ScenarioSpec:
     #: trial payload -- and every committed golden -- byte-identical.
     packet_probe: Optional[PacketProbeSpec] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name or any(c.isspace() for c in self.name):
             raise ValueError("scenario name must be a non-empty slug")
         if self.horizon_s <= 0 or self.sample_interval_s <= 0:

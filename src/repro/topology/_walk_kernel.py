@@ -375,7 +375,7 @@ def load_kernel() -> Optional[ctypes.CDLL]:
     on PATH, or the build failed -- callers fall back to the NumPy
     walk in every case.  The outcome (either way) is memoised.
     """
-    global _cached, _load_attempted
+    global _cached, _load_attempted  # repro: ignore[shard-purity] -- once-only lazy compile; kernel is bit-exact vs the NumPy fallback
     if os.environ.get("REPRO_NO_CKERNEL"):
         return None
     with _lock:

@@ -1,0 +1,55 @@
+"""Known-bad fixture: impure workers dispatched through run_sharded.
+
+Parsed by the analyzer tests, never imported or executed.  The
+impurities sit one and two call-hops below the worker -- exactly the
+shape the file-local linter could not see.
+"""
+
+import random
+import time
+
+from repro.runtime.parallel import run_sharded
+
+_RESULTS = []
+
+
+def _elapsed_s() -> float:
+    # The wall-clock read lives two hops below the dispatch site.
+    return time.time()
+
+
+def _timed_step(x: float) -> float:
+    return x + _elapsed_s()
+
+
+def _timed_trial(x: float) -> float:
+    # hop 1 -> _timed_step, hop 2 -> _elapsed_s -> time.time()
+    return _timed_step(x)
+
+
+def _sampling_trial(x: float) -> float:
+    # draws-unseeded-rng directly inside the worker.
+    return x * random.random()
+
+
+def _recording_trial(x: float) -> float:
+    # mutates-module-global: results leak into a module list, so the
+    # serial and sharded runs see different accumulation.
+    _RESULTS.append(x)
+    return x
+
+
+def _pure_trial(x: float) -> float:
+    return x * 2.0
+
+
+def sweep(items):
+    # shard-purity: wall clock two hops below the worker (acceptance).
+    timed = run_sharded(_timed_trial, items, workers=4)
+    # shard-purity: unseeded draw inside the worker.
+    sampled = run_sharded(_sampling_trial, items, workers=4)
+    # shard-purity: module-global mutation inside the worker.
+    recorded = run_sharded(_recording_trial, items, workers=4)
+    # Negative control: a pure worker may not be flagged.
+    clean = run_sharded(_pure_trial, items, workers=4)
+    return timed, sampled, recorded, clean

@@ -1,0 +1,42 @@
+"""Known-bad fixture: order-dependent float reductions in merge code.
+
+Parsed by the analyzer tests, never imported or executed.  Float
+addition is not associative, so reducing over an unordered collection
+makes totals depend on iteration order (and therefore on shard count
+or hash seed).
+"""
+
+from typing import Dict, List, Set
+
+
+def total_latency(samples: Set[float]) -> float:
+    # float-reduction-order: sum() directly over a set.
+    return sum(samples)
+
+
+def merge_counters(counters: Dict[str, float]) -> float:
+    # float-reduction-order: sum() over a dict .values() view.
+    return sum(counters.values())
+
+
+def weighted_total(samples: Set[float]) -> float:
+    # float-reduction-order: generator over a set feeding sum().
+    return sum(s * 0.5 for s in samples)
+
+
+def accumulate(samples: Set[float]) -> float:
+    # float-reduction-order: loop accumulation over a set.
+    total = 0.0
+    for s in samples:
+        total += s
+    return total
+
+
+def sorted_total(samples: Set[float]) -> float:
+    # Negative control: sorting pins the reduction order.
+    return sum(sorted(samples))
+
+
+def list_total(samples: List[float]) -> float:
+    # Negative control: lists iterate in a deterministic order.
+    return sum(samples)

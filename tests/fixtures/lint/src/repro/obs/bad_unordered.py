@@ -1,0 +1,40 @@
+"""Known-bad fixture: unordered iteration feeding serialized artifacts.
+
+Parsed by the analyzer tests, never imported or executed.  Iterating a
+set in a function that (transitively) reaches a JSON sink bakes
+``PYTHONHASHSEED`` into artifact bytes.
+"""
+
+import json
+from typing import Set
+
+
+def export_failed(failed: Set[str]) -> str:
+    # unordered-iteration: list() over a set-valued parameter in the
+    # same function as the json.dumps sink.
+    rows = list(failed)
+    return json.dumps(rows)
+
+
+def _to_json(rows) -> str:
+    return json.dumps(rows)
+
+
+def snapshot_names(names: Set[str]) -> str:
+    # unordered-iteration: the comprehension iterates a set while the
+    # sink is one call-hop below (_to_json -> json.dumps).
+    rows = [name.upper() for name in names]
+    return _to_json(rows)
+
+
+def sorted_export(failed: Set[str]) -> str:
+    # Negative control: sorted() pins the order; may not be flagged.
+    return json.dumps(sorted(failed))
+
+
+def count_only(failed: Set[str]) -> int:
+    # Negative control: set iteration with no artifact sink below.
+    seen = []
+    for name in failed:
+        seen.append(name)
+    return len(seen)

@@ -1,0 +1,54 @@
+"""Known-bad fixture: listener registries holding strong references.
+
+Parsed by the analyzer tests, never imported or executed.  A registry
+that appends callbacks directly pins every registrant (routers and
+their caches included) alive for the registry's lifetime; grid.py's
+contract is ``weakref.WeakMethod`` for bound methods.
+"""
+
+import weakref
+
+
+class LeakyRegistry:
+    def __init__(self):
+        self._fault_listeners = []
+
+    def add_fault_listener(self, listener) -> None:
+        # listener-leak: a strong reference pins the registrant.
+        self._fault_listeners.append(listener)
+
+
+class LeakySetRegistry:
+    def __init__(self):
+        self.listeners = set()
+
+    def subscribe(self, callback) -> None:
+        # listener-leak: .add() into a listener set, still strong.
+        self.listeners.add(callback)
+
+
+class WeakRegistry:
+    """Negative control: the grid.py pattern may not be flagged."""
+
+    def __init__(self):
+        self._fault_listeners = []
+
+    def add_fault_listener(self, listener) -> None:
+        if hasattr(listener, "__self__"):
+            ref = weakref.WeakMethod(listener)
+        else:
+            ref = weakref.ref(listener)
+        self._fault_listeners.append(ref)
+
+    def add_direct(self, listener) -> None:
+        self._fault_listeners.append(weakref.ref(listener))
+
+
+class PlainCollector:
+    """Negative control: not a listener registry at all."""
+
+    def __init__(self):
+        self._samples = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)

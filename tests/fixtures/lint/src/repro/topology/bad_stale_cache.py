@@ -1,0 +1,69 @@
+"""Known-bad fixture: topology-keyed caches with no invalidation.
+
+Parsed by the analyzer tests, never imported or executed.
+``StaleRouter`` is a minimal reproduction of the pre-PR-8
+``DijkstraRouter``: its LRU key includes ``fault_epoch``, but nothing
+registers ``add_fault_listener``, so direct mutation of fault state
+between epoch reads serves stale routes.
+"""
+
+from collections import OrderedDict
+from functools import lru_cache
+
+
+class StaleRouter:
+    """The pre-PR-8 bug shape: keyed on fault state, never invalidated."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._graph_cache = OrderedDict()
+
+    def route(self, src: int, dst: int, t: float):
+        # stale-cache: the key reads fault_epoch, but no method of
+        # this class ever reaches add_fault_listener.
+        key = (float(t), self.topology.fault_epoch)
+        cached = self._graph_cache.get(key)
+        if cached is None:
+            cached = self._walk(src, dst, t)
+            self._graph_cache[key] = cached
+        return cached
+
+    def _walk(self, src: int, dst: int, t: float):
+        return [src, dst]
+
+
+@lru_cache(maxsize=64)
+def mean_path_length(topology, t: float) -> float:
+    # stale-cache: a memoized function keyed on a mutable topology
+    # argument can never observe fault injection.
+    return float(len(topology.failed_satellites()))
+
+
+class ListenerRouter:
+    """Negative control: the PR-8 fix shape may not be flagged."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._graph_cache = OrderedDict()
+        topology.add_fault_listener(self.invalidate)
+
+    def invalidate(self) -> None:
+        self._graph_cache.clear()
+
+    def route(self, src: int, dst: int, t: float):
+        key = (float(t), self.topology.fault_epoch)
+        cached = self._graph_cache.get(key)
+        if cached is None:
+            cached = [src, dst]
+            self._graph_cache[key] = cached
+        return cached
+
+
+class EpochFreeStore:
+    """Negative control: a store that never reads fault state."""
+
+    def __init__(self):
+        self._by_name = {}
+
+    def put(self, name: str, value: float) -> None:
+        self._by_name[name] = value

@@ -83,18 +83,19 @@ class TestJsonFormat:
         code, out = run_lint(capsys, str(path), "--format", "json")
         assert code == 1
         report = json.loads(out)
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["files_checked"] == 1
         assert set(report["summary"]) == {
             "total", "new", "baselined", "suppressed",
             "stale_baseline"}
         (finding,) = report["findings"]
         assert set(finding) == {"rule", "path", "line", "message",
-                                "fingerprint", "baselined"}
+                                "fingerprint", "baselined", "severity"}
         assert finding["rule"] == "implicit-optional"
         assert finding["path"] == "bad.py"
         assert finding["line"] == 1
         assert finding["baselined"] is False
+        assert finding["severity"] == "error"
         assert len(finding["fingerprint"]) == 16
 
     def test_output_file(self, tree, capsys):
@@ -105,6 +106,27 @@ class TestJsonFormat:
         assert code == 1
         report = json.loads(report_path.read_text())
         assert report["summary"]["new"] == 1
+
+    def test_graph_export(self, tree, capsys):
+        source = ("import time\n"
+                  "def leaf():\n"
+                  "    return time.time()\n"
+                  "def trial():\n"
+                  "    return leaf()\n")
+        path = write(tree, "mod.py", source)
+        graph_path = tree / "callgraph.json"
+        code, _ = run_lint(capsys, str(path),
+                           "--graph", str(graph_path))
+        assert graph_path.exists()
+        doc = json.loads(graph_path.read_text())
+        assert doc["version"] == 1
+        trial = doc["functions"]["mod.trial"]
+        assert trial["calls"] == ["mod.leaf"]
+        assert trial["effects"] == ["reads-wallclock"]
+        assert trial["direct_effects"] == []
+        assert any(o["effect"] == "reads-wallclock"
+                   and o["function"] == "mod.leaf"
+                   for o in doc["effect_sources"])
 
 
 class TestBaselineRoundTrip:

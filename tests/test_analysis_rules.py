@@ -222,3 +222,154 @@ class TestFrameworkPlumbing:
         assert "Snap" in context.frozen_classes
         # Documented immutable-by-contract snapshot types ride along.
         assert "ConstellationSnapshot" in context.frozen_classes
+
+
+class TestShardPurityRule:
+    def setup_method(self):
+        self.findings = findings_for("experiments/bad_shard_purity.py")
+        self.hits = by_rule(self.findings, "shard-purity")
+
+    def test_wallclock_two_hops_deep_is_caught(self):
+        # Acceptance fixture: time.time() sits two call-hops below
+        # the dispatched worker.
+        timed = [f for f in self.hits if "_timed_trial" in f.message]
+        assert timed, messages(self.findings)
+        assert "wall clock" in timed[0].message
+        # The message names the full call chain down to the source.
+        assert "_timed_step" in timed[0].message
+        assert "_elapsed_s" in timed[0].message
+        assert "time.time" in timed[0].message
+
+    def test_unseeded_draw_in_worker_is_caught(self):
+        assert any("_sampling_trial" in f.message
+                   and "unseeded" in f.message for f in self.hits)
+
+    def test_global_mutation_in_worker_is_caught(self):
+        assert any("_recording_trial" in f.message
+                   and "module global" in f.message for f in self.hits)
+
+    def test_pure_worker_is_not_flagged(self):
+        assert not any("_pure_trial" in f.message for f in self.hits)
+
+    def test_findings_sit_at_the_dispatch_site(self):
+        assert all("run_sharded" in
+                   "".join(open("tests/fixtures/lint/src/repro/"
+                                "experiments/bad_shard_purity.py")
+                           .readlines()[f.line - 1])
+                   for f in self.hits)
+
+
+class TestStaleCacheRule:
+    def setup_method(self):
+        self.findings = findings_for("topology/bad_stale_cache.py")
+        self.hits = by_rule(self.findings, "stale-cache")
+
+    def test_pre_pr8_router_shape_is_caught(self):
+        # Acceptance fixture: fault_epoch-keyed LRU with no
+        # add_fault_listener registration anywhere in the class.
+        assert any("StaleRouter._graph_cache" in f.message
+                   for f in self.hits), messages(self.findings)
+
+    def test_memoized_topology_param_is_caught(self):
+        assert any("mean_path_length" in f.message
+                   and "topology" in f.message for f in self.hits)
+
+    def test_listener_registering_router_is_not_flagged(self):
+        assert not any("ListenerRouter" in f.message for f in self.hits)
+
+    def test_fault_state_free_store_is_not_flagged(self):
+        assert not any("EpochFreeStore" in f.message for f in self.hits)
+
+
+class TestUnorderedIterationRule:
+    def setup_method(self):
+        self.findings = findings_for("obs/bad_unordered.py")
+        self.hits = by_rule(self.findings, "unordered-iteration")
+
+    def test_set_iteration_feeding_json_is_caught(self):
+        assert any("export_failed" in f.message for f in self.hits), \
+            messages(self.findings)
+
+    def test_sink_one_hop_below_is_caught(self):
+        assert any("snapshot_names" in f.message for f in self.hits)
+
+    def test_sorted_iteration_is_not_flagged(self):
+        assert not any("sorted_export" in f.message for f in self.hits)
+
+    def test_iteration_without_sink_is_not_flagged(self):
+        assert not any("count_only" in f.message for f in self.hits)
+
+    def test_severity_is_warning(self):
+        assert all(f.severity == "warning" for f in self.hits)
+
+
+class TestFloatReductionOrderRule:
+    def setup_method(self):
+        self.findings = findings_for("obs/bad_float_reduction.py")
+        self.hits = by_rule(self.findings, "float-reduction-order")
+
+    def test_sum_over_set_is_caught(self):
+        assert any("total_latency" in f.message for f in self.hits), \
+            messages(self.findings)
+
+    def test_sum_over_dict_values_is_caught(self):
+        assert any("merge_counters" in f.message for f in self.hits)
+
+    def test_generator_over_set_is_caught(self):
+        assert any("weighted_total" in f.message for f in self.hits)
+
+    def test_loop_accumulation_over_set_is_caught(self):
+        assert any("accumulate" in f.message for f in self.hits)
+
+    def test_sorted_and_list_reductions_are_not_flagged(self):
+        assert not any("sorted_total" in f.message for f in self.hits)
+        assert not any("list_total" in f.message for f in self.hits)
+
+
+class TestListenerLeakRule:
+    def setup_method(self):
+        self.findings = findings_for("topology/bad_listener_leak.py")
+        self.hits = by_rule(self.findings, "listener-leak")
+
+    def test_strong_append_into_listener_list_is_caught(self):
+        assert any("_fault_listeners" in f.message for f in self.hits), \
+            messages(self.findings)
+
+    def test_strong_add_into_listener_set_is_caught(self):
+        assert any("subscribe" in f.message for f in self.hits)
+
+    def test_weakref_pattern_is_not_flagged(self):
+        leaky = [f for f in self.hits if "add_direct" in f.message
+                 or ("add_fault_listener" in f.message
+                     and f.line > 30)]
+        assert not leaky
+
+    def test_non_listener_collection_is_not_flagged(self):
+        assert not any("record" in f.message for f in self.hits)
+
+
+class TestBareSuppressionRule:
+    def setup_method(self):
+        self.findings = findings_for("runtime/bad_suppressions.py")
+        self.hits = by_rule(self.findings, "bare-suppression")
+
+    def test_bracketed_without_why_is_caught(self):
+        assert any(f.line == 11 for f in self.hits), \
+            messages(self.findings)
+
+    def test_bare_blanket_ignore_is_caught(self):
+        assert any("silences every rule" in f.message
+                   for f in self.hits)
+
+    def test_rule_is_not_self_suppressible(self):
+        # Line 21 tries to suppress bare-suppression itself.
+        assert any(f.line == 21 for f in self.hits)
+
+    def test_justified_waiver_is_not_flagged(self):
+        assert not any(f.line == 26 for f in self.hits)
+
+    def test_the_waived_findings_still_count_as_suppressed(self):
+        result = analyze(
+            [FIXTURE_ROOT / "src" / "repro" / "runtime"
+             / "bad_suppressions.py"], root=FIXTURE_ROOT)
+        assert result.suppressed >= 3

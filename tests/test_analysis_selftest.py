@@ -55,6 +55,42 @@ def test_analyzer_covers_the_whole_package():
     assert len(checked) > 100
 
 
+def test_benchmarks_and_examples_lint_clean():
+    """Since ISSUE 9 the executable entry points around the package
+    ride the same contracts: benchmarks and examples must be free of
+    non-baselined findings too (they define the workloads whose
+    artifacts the golden gate compares)."""
+    targets = [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+    result = analyze([t for t in targets if t.exists()],
+                     root=REPO_ROOT)
+    assert result.files_checked > 0
+    baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+    new, _, _ = baseline.partition(result.findings)
+    assert not new, "\n".join(
+        f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in new)
+
+
+def test_suite_itself_lints_clean():
+    """The test suite is analyzed too (fixtures excluded -- they are
+    the known-bad corpus): a wall-clock read or unseeded draw smuggled
+    into a test helper would skew goldens just as surely."""
+    files = sorted((REPO_ROOT / "tests").glob("test_*.py"))
+    result = analyze(files, root=REPO_ROOT)
+    assert result.files_checked >= 50
+    baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+    new, _, _ = baseline.partition(result.findings)
+    assert not new, "\n".join(
+        f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in new)
+
+
+def test_every_package_suppression_is_justified():
+    """ISSUE 9 acceptance: new suppressions only land with a
+    '-- why' trailer, enforced by bare-suppression staying quiet."""
+    result = analyze([PACKAGE], root=REPO_ROOT)
+    bare = [f for f in result.findings if f.rule == "bare-suppression"]
+    assert bare == []
+
+
 def test_inline_suppressions_are_counted_not_hidden():
     """The three justified ephemeral-state tables stay visible as
     suppressions in the result (reviewers can audit the count)."""

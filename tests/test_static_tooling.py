@@ -22,6 +22,7 @@ TYPED_CORE = [
     "src/repro/analysis",
     "src/repro/obs",
     "src/repro/runtime",
+    "src/repro/scenarios",
     "src/repro/sim/engine.py",
     "src/repro/orbits/snapshot.py",
 ]
