@@ -1,6 +1,6 @@
 """Batch routing plane benchmark: Algorithm 1 at array speed.
 
-Times three workloads on the 1584-satellite Starlink shell and emits
+Times four workloads on the 1584-satellite Starlink shell and emits
 ``BENCH_routing.json`` at the repo root:
 
 * a 2k-packet scalar :class:`~repro.topology.routing.GeospatialRouter`
@@ -8,15 +8,22 @@ Times three workloads on the 1584-satellite Starlink shell and emits
 * the same wave through
   :meth:`~repro.topology.batch_routing.BatchGeoRouter.route_batch`;
 * a 1M-packet bulk wave through the batch plane (the Monte Carlo
-  workload the plane exists for).
+  workload the plane exists for);
+* an epoch sweep -- the Fig. 18b relay shape, per-packet epochs over
+  an orbital period at the relay hop budget -- through
+  :meth:`~repro.topology.batch_routing.BatchGeoRouter.route_sweep`
+  against the scalar per-epoch relay loop it replaces.
 
 Every batch result is asserted bit-identical to the scalar walk on a
 sampled subset before any timing is trusted, so the speedup being
 measured is the speedup of *the same answer*.
 
 Acceptance floors (with the compiled kernel): >= 20x over the scalar
-sweep and >= 1M routed packets/s on the bulk wave.  Without a C
-compiler the numpy fallback must still clear 5x.
+sweep, >= 1M routed packets/s on the bulk wave, and >= 10x on the
+epoch sweep.  Without a C compiler the numpy fallback must still
+clear 5x on the single-epoch sweep and 2x on the epoch sweep (the
+per-epoch waves are two orders of magnitude smaller, so the numpy
+walk amortises less per hop level).
 """
 
 import json
@@ -27,11 +34,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.orbits import make_propagator, starlink
 from repro.topology._walk_kernel import load_kernel
 from repro.topology.batch_routing import BatchGeoRouter
 from repro.topology.grid import GridTopology
-from repro.topology.routing import GeospatialRouter
+from repro.topology.routing import RELAY_MAX_HOPS, GeospatialRouter
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_routing.json"
 
@@ -45,6 +53,12 @@ BULK_PACKETS = 100_000 if SMOKE else 1_000_000
 ROUTING_T = 300.0
 SEED = 11
 EQUIVALENCE_SAMPLE = 500
+
+#: Epoch-sweep row: the Fig. 18b relay shape scaled up -- packets
+#: spread over an orbital period, routed per-epoch.
+EPOCH_SWEEP_EPOCHS = 12
+EPOCH_SWEEP_PER_EPOCH = 25 if SMOKE else 100
+EPOCH_HORIZON_S = 5700.0
 
 
 def _best_of(fn, repeats=3):
@@ -132,13 +146,61 @@ def test_batch_routing_throughput():
         "mean_hops": float(bulk_result.hops.mean()),
     }
 
+    # -- epoch sweep (the relay pipeline's shape) -----------------------------
+    n_sweep = EPOCH_SWEEP_EPOCHS * EPOCH_SWEEP_PER_EPOCH
+    sw_src, sw_lats, sw_lons = _wave(constellation, n_sweep, seed=SEED + 1)
+    grid = np.array([EPOCH_HORIZON_S * i / EPOCH_SWEEP_EPOCHS
+                     for i in range(EPOCH_SWEEP_EPOCHS)])
+    # Interleaved epochs (packet i departs at grid[i % epochs]): the
+    # sweep must group them itself, like real mixed-epoch workloads.
+    sw_ts = grid[np.arange(n_sweep) % EPOCH_SWEEP_EPOCHS]
+    relay_scalar = GeospatialRouter(topology, max_hops=RELAY_MAX_HOPS)
+    sweep_metrics = MetricsRegistry()
+    sweeper = BatchGeoRouter(topology, max_hops=RELAY_MAX_HOPS,
+                             metrics=sweep_metrics)
+
+    swept = sweeper.route_sweep(sw_src, sw_lats, sw_lons, sw_ts)
+    stride = max(1, n_sweep // EQUIVALENCE_SAMPLE)
+    for i in range(0, n_sweep, stride):
+        expected = relay_scalar.route(int(sw_src[i]), float(sw_lats[i]),
+                                      float(sw_lons[i]), float(sw_ts[i]))
+        assert bool(swept.delivered[i]) == expected.delivered
+        assert float(swept.delay_s[i]) == expected.delay_s
+        assert swept.path(i) == expected.path
+
+    def scalar_epoch_loop():
+        return [relay_scalar.route(int(s), float(la), float(lo), float(t))
+                for s, la, lo, t in zip(sw_src, sw_lats, sw_lons, sw_ts)]
+
+    scalar_sweep_s, _ = _best_of(scalar_epoch_loop, repeats=2)
+    sweep_s, _ = _best_of(
+        lambda: sweeper.route_sweep(sw_src, sw_lats, sw_lons, sw_ts))
+    sweep_speedup = scalar_sweep_s / sweep_s
+    # Sweep-sized table LRU: the timing repeats above re-ran the whole
+    # sweep, yet every epoch's table was built exactly once.
+    table_builds = int(sweep_metrics.counter_value("routing.table_builds"))
+    results["epoch_sweep"] = {
+        "epochs": EPOCH_SWEEP_EPOCHS,
+        "packets": n_sweep,
+        "max_hops": RELAY_MAX_HOPS,
+        "scalar_seconds": scalar_sweep_s,
+        "seconds": sweep_s,
+        "packets_per_s": n_sweep / sweep_s,
+        "speedup_vs_scalar": sweep_speedup,
+        "table_builds": table_builds,
+    }
+
     BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
+
+    assert table_builds == EPOCH_SWEEP_EPOCHS
 
     # Acceptance floors for this PR's perf trajectory.
     if kernel:
         assert speedup >= 20.0
+        assert sweep_speedup >= 10.0
         if not SMOKE:
             assert bulk_rate >= 1_000_000.0
     else:
         assert speedup >= 5.0
+        assert sweep_speedup >= 2.0

@@ -107,10 +107,14 @@ def _cmd_fig18b(args) -> int:
     from .experiments import compare_ideal_vs_j4
     from .orbits import TABLE1
     print("Fig. 18b -- Beijing->New York relay (ideal vs J4):")
+
+    def ms(value: Optional[float]) -> str:
+        return "   n/a" if value is None else f"{value:6.1f}"
+
     for name, factory in TABLE1.items():
         row = compare_ideal_vs_j4(factory(), samples=args.samples)
-        print(f"  {name:9s} ideal={row.mean_delay_ideal_ms:6.1f} ms "
-              f"j4={row.mean_delay_j4_ms:6.1f} ms "
+        print(f"  {name:9s} ideal={ms(row.mean_delay_ideal_ms)} ms "
+              f"j4={ms(row.mean_delay_j4_ms)} ms "
               f"delivery={row.delivery_rate_j4 * 100:.0f}%")
     return 0
 

@@ -57,9 +57,13 @@ from .prototype import (
 )
 from .relay import (
     RelayComparison,
+    RelaySweepStats,
     RelayTrial,
     compare_ideal_vs_j4,
     path_stretch_vs_optimal,
+    relay_router,
+    relay_sweep_stats,
+    relay_times,
     relay_trials,
 )
 from .report import generate_report, write_report
@@ -113,8 +117,9 @@ __all__ = [
     "FIG17_RATES", "PrototypePoint", "fig17_sweep",
     "session_latency_comparison", "solution_cpu_percent",
     "solution_latency_s",
-    "RelayComparison", "RelayTrial", "compare_ideal_vs_j4",
-    "path_stretch_vs_optimal", "relay_trials",
+    "RelayComparison", "RelaySweepStats", "RelayTrial",
+    "compare_ideal_vs_j4", "path_stretch_vs_optimal", "relay_router",
+    "relay_sweep_stats", "relay_times", "relay_trials",
     "ACTIVE_SATELLITE_FRACTION", "SignalingLoad", "cohort_load_point",
     "mean_hops_to_ground", "reduction_factors", "signaling_load", "sweep",
     "TemporalSample", "load_variation", "satellite_ground_track_load",

@@ -46,6 +46,7 @@ from .propagator import IdealPropagator
 __all__ = [
     "ConstellationSnapshot",
     "snapshot_for",
+    "snapshots_for",
     "clear_snapshot_cache",
     "snapshot_cache_info",
     "serving_satellites",
@@ -273,6 +274,11 @@ def grid_neighbor_table(constellation: Constellation) -> np.ndarray:
 _cache: "OrderedDict[Tuple[int, float], ConstellationSnapshot]" = OrderedDict()
 _hits = 0
 _misses = 0
+#: Effective cache capacity.  Starts at :data:`SNAPSHOT_CACHE_SIZE`
+#: and only ever grows: epoch sweeps wider than the default capacity
+#: (see :func:`snapshots_for`) raise it so a sweep's second pass hits
+#: instead of rebuilding every epoch it just visited.
+_capacity = SNAPSHOT_CACHE_SIZE
 
 
 def snapshot_for(propagator: IdealPropagator,
@@ -294,18 +300,36 @@ def snapshot_for(propagator: IdealPropagator,
     snap = ConstellationSnapshot(propagator, t)
     _cache[key] = snap
     _cache.move_to_end(key)
-    while len(_cache) > SNAPSHOT_CACHE_SIZE:
+    while len(_cache) > _capacity:
         _cache.popitem(last=False)
     _misses += 1
     return snap
 
 
+def snapshots_for(propagator: IdealPropagator,
+                  times: Sequence[float]) -> List[ConstellationSnapshot]:
+    """Sweep-friendly prefetch: the snapshot of every epoch in ``times``.
+
+    Functionally just ``[snapshot_for(propagator, t) for t in times]``
+    -- every snapshot comes from (and lands in) the same LRU -- but a
+    sweep wider than the cache capacity first *grows* the capacity to
+    cover itself, so routing an orbital period in one pass can never
+    evict the epochs it is about to revisit.  The capacity only grows
+    (snapshots are ~60 KB; a sweep-sized cache is a few MB at worst).
+    """
+    global _capacity  # repro: ignore[shard-purity] -- monotone capacity bump; cache contents stay bit-identical
+    if len(times) > _capacity:
+        _capacity = len(times)
+    return [snapshot_for(propagator, t) for t in times]
+
+
 def clear_snapshot_cache() -> None:
     """Drop every cached snapshot (mainly for tests and benchmarks)."""
-    global _hits, _misses  # repro: ignore[shard-purity] -- hit/miss stats are observability-only, never read by results
+    global _hits, _misses, _capacity  # repro: ignore[shard-purity] -- hit/miss stats are observability-only, never read by results
     _cache.clear()
     _hits = 0
     _misses = 0
+    _capacity = SNAPSHOT_CACHE_SIZE
 
 
 def snapshot_cache_info() -> Tuple[int, int, int]:

@@ -24,7 +24,7 @@ work units across workers.  This package is that spine:
   a 1M-UE load point O(cohorts) instead of O(users).
 """
 
-from .cohort import CohortStats, UECohortEngine
+from .cohort import CohortStats, OfferedLoadProbe, UECohortEngine
 from .memo import (
     MEMO_DECORATOR_NAMES,
     cached_dwell_time_s,
@@ -57,6 +57,7 @@ __all__ = [
     "CohortStats",
     "ExecutionPlan",
     "MEMO_DECORATOR_NAMES",
+    "OfferedLoadProbe",
     "PLANNER_ENV_VAR",
     "UECohortEngine",
     "WORKERS_ENV_VAR",

@@ -35,6 +35,18 @@ in a small LRU.  Fault injection both re-keys the cache (the key
 embeds ``fault_epoch``) and actively drops entries through the
 topology's fault listeners, so chaos scenarios can never read a stale
 liveness mask.
+
+Epoch sweeps
+============
+Workloads that route *across* time -- the Fig. 18b relay pipeline
+samples one packet per epoch over an orbital period, the cohort
+engine probes offered load over a horizon -- go through
+:meth:`BatchGeoRouter.route_sweep`: packets carry per-element epochs,
+are grouped by epoch, and each epoch's wave routes in one
+``route_batch``-equivalent call with the results scattered back in
+input order.  The table LRU (and the snapshot LRU underneath it) is
+sized to the sweep up front, so one table build per distinct epoch
+serves the whole sweep and every repeat of it.
 """
 
 from __future__ import annotations
@@ -52,6 +64,7 @@ from ..orbits.snapshot import (
     ConstellationSnapshot,
     grid_neighbor_table,
     snapshot_for,
+    snapshots_for,
 )
 from ._walk_kernel import load_kernel
 from .grid import GridTopology
@@ -438,6 +451,151 @@ class BatchGeoRouter:
         return self._finish(src, dlat, dlon, t, avoid_links, delivered,
                             degraded, delay, distance, paths, path_len,
                             fallback)
+
+    # -- the epoch sweep -------------------------------------------------------
+
+    def route_sweep(self, src_sats: Sequence[int],
+                    dest_lats: Sequence[float],
+                    dest_lons: Sequence[float],
+                    ts: Sequence[float],
+                    avoid_links: Optional[Set[FrozenSet[int]]] = None
+                    ) -> BatchRouteResult:
+        """Route ``(N,)`` packets, each at its *own* epoch ``ts[i]``.
+
+        The time-sweeping face of the batch plane: packets are grouped
+        by epoch, each epoch's wave runs through one
+        :meth:`route_batch` call against that epoch's next-hop table,
+        and the per-epoch results scatter back into one flat
+        :class:`BatchRouteResult` **in input order**.  Packets are
+        independent, so the grouping is bitwise neutral: element ``i``
+        equals ``GeospatialRouter.route(src[i], lat[i], lon[i],
+        ts[i])`` exactly, which is what the serial-vs-sweep
+        equivalence suite asserts.
+
+        The table LRU is sized to the sweep before the first wave
+        routes: a 24-epoch sweep over the default 8-entry cache would
+        otherwise evict every table it builds before a second pass
+        (a repeated sweep, or the scalar fallback of a later epoch)
+        could reuse it.  The capacity only grows, and sweeps that
+        revisit their epochs rebuild nothing (``routing.table_builds``
+        counts exactly one build per distinct ``(t, fault_epoch)``).
+        """
+        src = np.ascontiguousarray(np.asarray(src_sats, dtype=np.int64))
+        dlat = np.ascontiguousarray(np.asarray(dest_lats, dtype=float))
+        dlon = np.ascontiguousarray(np.asarray(dest_lons, dtype=float))
+        t_arr = np.asarray(ts, dtype=float)
+        if not (src.shape == dlat.shape == dlon.shape == t_arr.shape
+                and src.ndim == 1):
+            raise ValueError(
+                "src/dest/ts arrays must share one (N,) shape")
+        n = src.shape[0]
+        self._count("routing.sweeps")
+        if n == 0:
+            return BatchRouteResult(
+                np.zeros(0, dtype=bool), np.zeros(0, dtype=bool),
+                np.zeros(0, dtype=float), np.zeros(0, dtype=float),
+                np.full((0, 1), -1, dtype=np.int32),
+                np.zeros(0, dtype=np.int32), np.zeros(0, dtype=bool))
+        epochs, inverse = np.unique(t_arr, return_inverse=True)
+        self._count("routing.sweep_epochs", int(epochs.size))
+        if int(epochs.size) > self._table_cache_size:
+            self._table_cache_size = int(epochs.size)
+        # Build every epoch's snapshot up front through the
+        # sweep-sized prefetch, so neither the table builds below nor
+        # the scalar fallbacks inside them can thrash the snapshot LRU
+        # on sweeps wider than its default capacity.
+        snapshots_for(self.topology.propagator,
+                      [float(t) for t in epochs])
+
+        delivered = np.zeros(n, dtype=bool)
+        degraded = np.zeros(n, dtype=bool)
+        fallback = np.zeros(n, dtype=bool)
+        delay = np.zeros(n, dtype=float)
+        distance = np.zeros(n, dtype=float)
+        path_len = np.ones(n, dtype=np.int32)
+        paths: Optional[np.ndarray] = None
+        for k in range(epochs.size):
+            sel = np.nonzero(inverse == k)[0]
+            wave = self.route_batch(src[sel], dlat[sel], dlon[sel],
+                                    float(epochs[k]),
+                                    avoid_links=avoid_links)
+            delivered[sel] = wave.delivered
+            degraded[sel] = wave.degraded
+            fallback[sel] = wave.fallback
+            delay[sel] = wave.delay_s
+            distance[sel] = wave.distance_km
+            path_len[sel] = wave.path_len
+            # Merge the *raw* per-wave path buffers: only the first
+            # ``path_len`` cells of a row are meaningful either way,
+            # and ``normalized=False`` below defers the -1 padding of
+            # everything else to first path_buffer access (exactly the
+            # route_batch kernel-path policy).
+            rows = wave._paths
+            if paths is None:
+                paths = np.empty((n, rows.shape[1]), dtype=np.int32)
+            elif rows.shape[1] > paths.shape[1]:
+                wider = np.empty((n, rows.shape[1]), dtype=np.int32)
+                wider[:, :paths.shape[1]] = paths
+                paths = wider
+            paths[sel, :rows.shape[1]] = rows
+        assert paths is not None
+        return BatchRouteResult(delivered, degraded, delay, distance,
+                                paths, path_len, fallback,
+                                normalized=False)
+
+    def sweep_trials(self, src: Tuple[float, float],
+                     dst: Tuple[float, float],
+                     ts: Sequence[float]
+                     ) -> Tuple[np.ndarray, BatchRouteResult]:
+        """Relay convenience: one packet per epoch from a ground source.
+
+        For every epoch ``t`` the serving satellite over the ground
+        point ``src`` is looked up on that epoch's snapshot (the same
+        ``snapshot_for(...).serving_satellite`` read the scalar relay
+        loop performs) and a packet is routed from it to the ground
+        destination ``dst`` through :meth:`route_sweep`.  Epochs whose
+        source point is uncovered are not routed: their slots come
+        back undelivered with zero delay/distance and an empty path
+        (``path_len == 0``), matching the scalar pipeline's
+        "no serving satellite" trial records.
+
+        Returns ``(src_sats, result)``: the per-epoch serving
+        satellite (``-1`` = uncovered) and the flat epoch-aligned
+        :class:`BatchRouteResult`.
+        """
+        ts_list = [float(t) for t in ts]
+        n = len(ts_list)
+        snaps = snapshots_for(self.topology.propagator, ts_list)
+        src_sats = np.fromiter(
+            (snap.serving_satellite(src[0], src[1]) for snap in snaps),
+            dtype=np.int64, count=n)
+        routed = np.nonzero(src_sats >= 0)[0]
+        wave = self.route_sweep(
+            src_sats[routed],
+            np.full(routed.size, dst[0]), np.full(routed.size, dst[1]),
+            np.asarray(ts_list, dtype=float)[routed])
+        if routed.size == n:
+            return src_sats, wave
+        delivered = np.zeros(n, dtype=bool)
+        degraded = np.zeros(n, dtype=bool)
+        fallback = np.zeros(n, dtype=bool)
+        delay = np.zeros(n, dtype=float)
+        distance = np.zeros(n, dtype=float)
+        path_len = np.zeros(n, dtype=np.int32)
+        buffer = wave.path_buffer if routed.size else np.full(
+            (0, 1), -1, dtype=np.int32)
+        paths = np.full((n, max(buffer.shape[1], 1)), -1, dtype=np.int32)
+        delivered[routed] = wave.delivered
+        degraded[routed] = wave.degraded
+        fallback[routed] = wave.fallback
+        delay[routed] = wave.delay_s
+        distance[routed] = wave.distance_km
+        path_len[routed] = wave.path_len
+        if routed.size:
+            paths[routed, :buffer.shape[1]] = buffer
+        return src_sats, BatchRouteResult(delivered, degraded, delay,
+                                          distance, paths, path_len,
+                                          fallback)
 
     def _route_chunk_kernel(self, kernel: ctypes.CDLL,
                             table: NextHopTable, src: np.ndarray,

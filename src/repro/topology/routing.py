@@ -39,6 +39,15 @@ from ..orbits.snapshot import (
 )
 from .grid import GridTopology
 
+#: Hop budget of the relay pipeline (Fig. 18b and every consumer that
+#: routes across an orbital period).  Long detours on the large shells
+#: can exceed the default 256-hop budget, so the scalar and batch
+#: planes must share one constant: constructing one plane at 512 and
+#: the other at its default silently halves the budget of whichever
+#: plane the pipeline happens to route through (the parity bug this
+#: constant fixes -- see tests/test_batch_routing.py).
+RELAY_MAX_HOPS = 512
+
 #: Sentinel distinguishing "scipy import not yet attempted" from "scipy
 #: absent" in the memo below.
 _SCIPY_UNRESOLVED = object()

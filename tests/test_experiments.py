@@ -172,6 +172,43 @@ class TestRelay:
     def test_stretch_ablation_small(self):
         assert path_stretch_vs_optimal(starlink()) < 1.6
 
+    def test_zero_samples_serializes_clean(self):
+        """samples=0 edge: no ZeroDivisionError, no JSON Infinity.
+
+        The retired pipeline returned ``float("inf")`` mean delays
+        (``json.dumps`` emits the non-standard ``Infinity`` token) and
+        divided by ``len(trials) == 0`` for the delivery rates.
+        """
+        import dataclasses
+        import json
+        comparison = compare_ideal_vs_j4(starlink(), samples=0)
+        assert comparison.delivery_rate_ideal == 0.0
+        assert comparison.delivery_rate_j4 == 0.0
+        assert comparison.mean_delay_ideal_ms is None
+        assert comparison.mean_delay_j4_ms is None
+        assert not comparison.delays_similar
+        text = json.dumps(dataclasses.asdict(comparison))
+        assert "Infinity" not in text
+        assert json.loads(text)["mean_delay_ideal_ms"] is None
+
+    def test_undelivered_panel_mean_is_none(self):
+        """A panel whose trials all miss must carry None, not inf."""
+        import math
+        from repro.experiments.relay import relay_trials
+        # Route to a destination far above the inclination band: the
+        # walk centers without covering, deflects, and never delivers.
+        trials = relay_trials(starlink(), "ideal", samples=4,
+                              dst=(math.radians(89.0), 0.0))
+        assert trials and not any(t.delivered for t in trials)
+
+    def test_sweep_stats_counts_one_build_per_epoch(self):
+        from repro.experiments import relay_sweep_stats
+        stats = relay_sweep_stats(starlink(), samples=6)
+        assert stats.epochs == 6
+        assert stats.table_builds == 6
+        assert stats.delivered == stats.routed == 6
+        assert stats.mean_delay_ms is not None
+
 
 class TestLeakage:
     def test_fig19_shapes(self):
